@@ -1,0 +1,76 @@
+// Ablation (paper §II-D, citing [15]): piggyback mechanisms.
+//
+// DAMPI chose the *separate message* mechanism "to ensure simplicity of
+// implementation without sacrificing performance". This harness compares
+// it against the payload-packing alternative across message-size
+// profiles: packing avoids the extra message but copies/resizes every
+// payload and inflates probed sizes; separate messages double the
+// message count but never touch user data.
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/verifier.hpp"
+#include "workloads/suites.hpp"
+
+using namespace dampi;
+
+namespace {
+
+double slowdown_with(piggyback::TransportKind kind, int procs,
+                     const workloads::SkeletonSpec& spec) {
+  core::VerifyOptions options;
+  options.explorer.nprocs = procs;
+  options.explorer.transport = kind;
+  options.explorer.max_interleavings = 1;
+  core::Verifier verifier(options);
+  return verifier
+      .verify([&spec](mpism::Proc& p) { workloads::run_skeleton(p, spec); })
+      .slowdown;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "Ablation — separate-message vs packed-payload piggyback",
+      "the separate-message mechanism performs on par with payload "
+      "packing across message-size regimes (DAMPI's §II-D design choice)");
+
+  const int procs = bench::env_procs(/*full=*/256, /*quick=*/64);
+  std::printf("processes: %d\n\n", procs);
+
+  TextTable table;
+  table.header({"workload", "payload", "separate msg", "packed payload",
+                "telepathic (lower bound)"});
+
+  bench::WallTimer total;
+  for (const char* name :
+       {"126.lammps", "104.milc", "107.leslie3d", "CG", "MG"}) {
+    const auto spec = workloads::find_suite_entry(name)->spec;
+    table.row({name, std::to_string(spec.payload_bytes) + "B",
+               fmt_fixed(slowdown_with(
+                             piggyback::TransportKind::kSeparateMessage,
+                             procs, spec),
+                         2) +
+                   "x",
+               fmt_fixed(slowdown_with(
+                             piggyback::TransportKind::kPackedPayload, procs,
+                             spec),
+                         2) +
+                   "x",
+               fmt_fixed(slowdown_with(piggyback::TransportKind::kTelepathic,
+                                       procs, spec),
+                         2) +
+                   "x"});
+  }
+
+  std::printf("%s\n", table.str().c_str());
+  std::printf("Shape check: packing wins on tiny payloads (no extra "
+              "message) but pays a full payload copy as messages grow; "
+              "the separate-message mechanism costs a fixed small message "
+              "regardless of payload — uniform and simple, which is why "
+              "DAMPI picked it. Telepathic (no piggyback traffic at all) "
+              "bounds the achievable minimum.\n");
+  std::printf("(harness wall time: %.1fs)\n", total.seconds());
+  return 0;
+}

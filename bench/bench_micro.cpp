@@ -1,0 +1,134 @@
+// Microbenchmarks (google-benchmark): substrate costs underpinning the
+// experiment harnesses — clock operations, runtime message round trips,
+// wildcard matching, and instrumented vs native per-message wall cost.
+#include <benchmark/benchmark.h>
+
+#include "clocks/lamport.hpp"
+#include "clocks/vector_clock.hpp"
+#include "core/dampi_layer.hpp"
+#include "mpism/runtime.hpp"
+#include "workloads/patterns.hpp"
+
+namespace {
+
+using namespace dampi;
+
+void BM_LamportTickMerge(benchmark::State& state) {
+  clocks::LamportClock clock;
+  std::uint64_t remote = 0;
+  for (auto _ : state) {
+    clock.tick();
+    clock.merge(remote += 3);
+    benchmark::DoNotOptimize(clock.value());
+  }
+}
+BENCHMARK(BM_LamportTickMerge);
+
+void BM_VectorClockMerge(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  clocks::VectorClock a(n, 0);
+  clocks::VectorClock b(n, 1);
+  for (auto _ : state) {
+    b.tick();
+    a.merge(b);
+    benchmark::DoNotOptimize(a.components().data());
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_VectorClockMerge)->Arg(8)->Arg(64)->Arg(512)->Arg(1024);
+
+void BM_VectorClockCompare(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  clocks::VectorClock a(n, 0);
+  clocks::VectorClock b(n, 1);
+  a.tick();
+  b.tick();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clocks::VectorClock::compare(a, b));
+  }
+}
+BENCHMARK(BM_VectorClockCompare)->Arg(8)->Arg(64)->Arg(512);
+
+/// Wall cost of a full 2-rank run: thread spawn + N ping-pong rounds.
+void BM_RuntimePingPong(benchmark::State& state) {
+  const int rounds = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    mpism::RunOptions options;
+    options.nprocs = 2;
+    mpism::Runtime runtime(std::move(options));
+    const auto report = runtime.run([rounds](mpism::Proc& p) {
+      for (int i = 0; i < rounds; ++i) {
+        if (p.rank() == 0) {
+          p.send(1, 1, mpism::pack<int>(i));
+          p.recv(1, 2);
+        } else {
+          p.recv(0, 1);
+          p.send(0, 2, mpism::pack<int>(i));
+        }
+      }
+    });
+    if (!report.completed) state.SkipWithError("run failed");
+  }
+  state.SetItemsProcessed(state.iterations() * rounds * 2);
+}
+BENCHMARK(BM_RuntimePingPong)->Arg(64)->Arg(1024);
+
+/// Wildcard matching with a deep unexpected queue: the engine must find
+/// per-source heads among q queued messages.
+void BM_WildcardMatchDepth(benchmark::State& state) {
+  const int queued = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    mpism::RunOptions options;
+    options.nprocs = 4;
+    mpism::Runtime runtime(std::move(options));
+    const auto report = runtime.run([queued](mpism::Proc& p) {
+      if (p.rank() == 0) {
+        p.barrier();
+        for (int i = 0; i < 3 * queued; ++i) {
+          p.recv(mpism::kAnySource, 7);
+        }
+      } else {
+        for (int i = 0; i < queued; ++i) {
+          p.send(0, 7, mpism::pack<int>(i));
+        }
+        p.barrier();
+      }
+    });
+    if (!report.completed) state.SkipWithError("run failed");
+  }
+  state.SetItemsProcessed(state.iterations() * 3 * queued);
+}
+BENCHMARK(BM_WildcardMatchDepth)->Arg(16)->Arg(128);
+
+/// Native vs DAMPI-instrumented wall cost of the same small program.
+void BM_InstrumentationWallOverhead(benchmark::State& state) {
+  const bool instrumented = state.range(0) != 0;
+  for (auto _ : state) {
+    if (instrumented) {
+      core::ExplorerOptions options;
+      options.nprocs = 3;
+      auto sink = std::make_shared<core::TraceSink>();
+      auto shared = std::make_shared<core::DampiShared>(options,
+                                                        core::Schedule{},
+                                                        sink);
+      mpism::RunOptions run_options;
+      run_options.nprocs = 3;
+      run_options.tools = core::make_dampi_setup(shared, nullptr);
+      mpism::Runtime runtime(std::move(run_options));
+      benchmark::DoNotOptimize(runtime.run(workloads::fig3_benign));
+    } else {
+      mpism::RunOptions run_options;
+      run_options.nprocs = 3;
+      mpism::Runtime runtime(std::move(run_options));
+      benchmark::DoNotOptimize(runtime.run(workloads::fig3_benign));
+    }
+  }
+}
+BENCHMARK(BM_InstrumentationWallOverhead)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgNames({"instrumented"});
+
+}  // namespace
+
+BENCHMARK_MAIN();

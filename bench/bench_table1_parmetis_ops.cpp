@@ -1,0 +1,96 @@
+// Table I: statistics of MPI operations in ParMETIS-3.1 at 8..128 procs.
+//
+// Paper's numbers (totals / per-proc): All 187K/23K at 8 procs growing
+// to 7986K/62K at 128 — totals grow ~2.4x per process doubling while
+// per-process counts grow only ~1.3x, and Collectives per proc *shrink*
+// (2.5K -> 1.4K). This asymmetry is the paper's explanation for why a
+// centralized scheduler (which sees the total) collapses while each
+// DAMPI rank (which sees only its own share) keeps up.
+#include <vector>
+
+#include "bench_util.hpp"
+#include "mpism/runtime.hpp"
+#include "workloads/parmetis_proxy.hpp"
+
+using namespace dampi;
+using mpism::OpCategory;
+
+namespace {
+
+struct PaperRow {
+  int procs;
+  const char* all;
+  const char* all_pp;
+  const char* sr;
+  const char* sr_pp;
+  const char* coll;
+  const char* coll_pp;
+  const char* wait;
+  const char* wait_pp;
+};
+
+constexpr PaperRow kPaper[] = {
+    {8, "187K", "23K", "121K", "15K", "20K", "2.5K", "47K", "5.8K"},
+    {16, "534K", "33K", "381K", "24K", "36K", "2.2K", "118K", "7.3K"},
+    {32, "1315K", "41K", "981K", "31K", "63K", "2.0K", "272K", "8.5K"},
+    {64, "3133K", "49K", "2416K", "38K", "105K", "1.6K", "612K", "9.6K"},
+    {128, "7986K", "62K", "6346K", "50K", "178K", "1.4K", "1463K", "11K"},
+};
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "Table I — statistics of MPI operations in ParMETIS-3.1",
+      "total ops grow ~2.4x per process doubling; per-proc ops only "
+      "~1.3x; collectives per proc shrink");
+
+  workloads::ParmetisConfig config;
+  std::vector<int> scales = {8, 16, 32, 64, 128};
+  if (bench::quick_mode()) {
+    config.phases = 4;
+    config.iters_per_phase = 40;
+    scales = {8, 16, 32};
+  }
+
+  TextTable table;
+  table.header({"procs", "All", "All/pp", "SendRecv", "SR/pp", "Coll",
+                "Coll/pp", "Wait", "Wait/pp", "| paper All", "All/pp",
+                "SR/pp", "Coll/pp", "Wait/pp"});
+
+  bench::WallTimer total;
+  for (const int procs : scales) {
+    mpism::RunOptions options;
+    options.nprocs = procs;
+    mpism::Runtime runtime(std::move(options));
+    const auto report = runtime.run([&config](mpism::Proc& p) {
+      workloads::parmetis_proxy(p, config);
+    });
+    if (!report.completed) {
+      std::printf("run failed at %d procs: %s\n", procs,
+                  report.deadlock_detail.c_str());
+      return 1;
+    }
+    const auto& s = report.stats;
+    const PaperRow* paper = nullptr;
+    for (const auto& row : kPaper) {
+      if (row.procs == procs) paper = &row;
+    }
+    table.row({std::to_string(procs), human_count(s.total_reported()),
+               human_count(s.total_reported() /
+                           static_cast<std::uint64_t>(procs)),
+               human_count(s.total(OpCategory::kSendRecv)),
+               human_count(s.per_proc(OpCategory::kSendRecv)),
+               human_count(s.total(OpCategory::kCollective)),
+               human_count(s.per_proc(OpCategory::kCollective)),
+               human_count(s.total(OpCategory::kWait)),
+               human_count(s.per_proc(OpCategory::kWait)),
+               paper ? std::string("| ") + paper->all : std::string("| -"),
+               paper ? paper->all_pp : "-", paper ? paper->sr_pp : "-",
+               paper ? paper->coll_pp : "-", paper ? paper->wait_pp : "-"});
+  }
+
+  std::printf("%s\n", table.str().c_str());
+  std::printf("(harness wall time: %.1fs)\n", total.seconds());
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Table II: DAMPI overhead on medium-large benchmarks at 1024 procs.
+//
+// For ParMETIS plus six SpecMPI2007 and eight NAS-PB proxies, one
+// instrumented run at scale reports: slowdown vs native (virtual time),
+// R* (wildcard receives DAMPI analyzed), and the C-Leak / R-Leak
+// findings. Paper's headline: overhead stays 1.0-1.3x for deterministic
+// codes, rises with wildcard counts (milc: 51K wildcards -> 15x), and
+// the leak checker finds unfreed communicators in 6 of the 15 codes.
+#include <functional>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/verifier.hpp"
+#include "workloads/parmetis_proxy.hpp"
+#include "workloads/suites.hpp"
+
+using namespace dampi;
+
+namespace {
+
+struct Row {
+  std::string name;
+  mpism::ProgramFn program;
+  double paper_slowdown;
+  std::uint64_t paper_rstar;
+  bool paper_cleak;
+  bool paper_rleak;
+};
+
+std::string yesno(bool b) { return b ? "Yes" : "No"; }
+
+}  // namespace
+
+int main() {
+  const int procs = bench::env_procs(/*full=*/1024, /*quick=*/128);
+  bench::banner("Table II — DAMPI overhead: medium-large benchmarks",
+                "slowdown ~1x for deterministic codes, driven by R* for "
+                "wildcard-heavy ones (milc 15x); C-leaks found in 6 codes");
+  std::printf("processes: %d (paper: 1024)\n\n", procs);
+
+  std::vector<Row> rows;
+  {
+    workloads::ParmetisConfig config;
+    config.phases = bench::quick_mode() ? 2 : 4;
+    config.iters_per_phase = 40;
+    rows.push_back(Row{"ParMETIS-3.1",
+                       [config](mpism::Proc& p) {
+                         workloads::parmetis_proxy(p, config);
+                       },
+                       1.18, 0, true, false});
+  }
+  for (const auto& entry : workloads::table2_suite()) {
+    rows.push_back(Row{entry.spec.name,
+                       [spec = entry.spec](mpism::Proc& p) {
+                         workloads::run_skeleton(p, spec);
+                       },
+                       entry.paper_slowdown, entry.paper_rstar,
+                       entry.paper_comm_leak, entry.paper_request_leak});
+  }
+
+  TextTable table;
+  table.header({"Program", "Slowdown", "R*", "C-Leak", "R-Leak",
+                "| paper:", "Slowdown", "R*", "C-Leak", "R-Leak"});
+
+  bench::WallTimer total;
+  for (const Row& row : rows) {
+    core::VerifyOptions options;
+    options.explorer.nprocs = procs;
+    options.explorer.max_interleavings = 1;  // overhead of the first run
+    core::Verifier verifier(options);
+    const auto result = verifier.verify(row.program);
+    if (!result.exploration.first_report.completed) {
+      std::printf("%s failed: %s\n", row.name.c_str(),
+                  result.exploration.first_report.deadlock_detail.c_str());
+      continue;
+    }
+    table.row({row.name, fmt_fixed(result.slowdown, 2) + "x",
+               std::to_string(result.exploration.wildcard_recv_epochs),
+               yesno(result.comm_leaks > 0),
+               yesno(result.request_leaks > 0), "|",
+               fmt_fixed(row.paper_slowdown, 2) + "x",
+               row.paper_rstar >= 1000
+                   ? human_count(row.paper_rstar)
+                   : std::to_string(row.paper_rstar),
+               yesno(row.paper_cleak), yesno(row.paper_rleak)});
+  }
+
+  std::printf("%s\n", table.str().c_str());
+  std::printf("Shape check: the leak columns should match the paper "
+              "exactly; slowdowns should preserve the ordering milc >> LU "
+              "> lammps > the rest (~1.0-1.3x), with R* tracking the "
+              "paper's wildcard profile.\n");
+  std::printf("(harness wall time: %.1fs)\n", total.seconds());
+  return 0;
+}

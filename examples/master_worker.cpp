@@ -1,0 +1,78 @@
+// Master/worker verification with bounded mixing.
+//
+// A master distributes matrix rows to workers and collects results with
+// wildcard receives (the paper's matmult). This example demonstrates:
+//   1. an injected order-sensitivity bug that only an alternate match
+//      order exposes — native runs pass, DAMPI replay fails it;
+//   2. bounded mixing (§III-B2): k=0,1,2 explore exponentially less than
+//      the full space while still finding the bug at k>=1;
+//   3. loop-iteration abstraction (§III-B1) collapsing the space.
+//
+//   $ ./examples/master_worker
+#include <cstdio>
+#include <optional>
+
+#include "core/explorer.hpp"
+#include "workloads/matmult.hpp"
+
+using namespace dampi;
+
+namespace {
+
+core::ExploreResult explore(const workloads::MatmultConfig& config,
+                            std::optional<int> k, int procs) {
+  core::ExplorerOptions options;
+  options.nprocs = procs;
+  options.mixing_bound = k;
+  options.max_interleavings = 5000;
+  core::Explorer explorer(options);
+  return explorer.explore(
+      [config](mpism::Proc& p) { workloads::matmult(p, config); });
+}
+
+const char* k_name(std::optional<int> k) {
+  static char buf[16];
+  if (!k.has_value()) return "unbounded";
+  std::snprintf(buf, sizeof buf, "k=%d", *k);
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kProcs = 4;  // one master + three workers
+
+  std::printf("-- correct master/worker --------------------------------\n");
+  workloads::MatmultConfig good;
+  good.n = 6;
+  good.chunk_rows = 1;
+  for (std::optional<int> k :
+       {std::optional<int>(0), std::optional<int>(1), std::optional<int>(2),
+        std::optional<int>()}) {
+    const auto result = explore(good, k, kProcs);
+    std::printf("  %-9s : %5llu interleavings, bug=%s\n", k_name(k),
+                static_cast<unsigned long long>(result.interleavings),
+                result.found_bug() ? "YES" : "no");
+  }
+
+  std::printf("\n-- with the order-sensitivity bug injected --------------\n");
+  workloads::MatmultConfig bad = good;
+  bad.inject_order_bug = true;
+  for (std::optional<int> k : {std::optional<int>(0), std::optional<int>(1)}) {
+    const auto result = explore(bad, k, kProcs);
+    std::printf("  %-9s : %5llu interleavings, bug=%s\n", k_name(k),
+                static_cast<unsigned long long>(result.interleavings),
+                result.found_bug() ? "YES (out-of-order completion corrupts C)"
+                                   : "no");
+  }
+
+  std::printf("\n-- loop abstraction (MPI_Pcontrol around the collect "
+              "loop) --\n");
+  workloads::MatmultConfig abstracted = good;
+  abstracted.abstract_loop = true;
+  const auto collapsed = explore(abstracted, std::nullopt, kProcs);
+  std::printf("  abstracted: %5llu interleaving(s) — the entire loop keeps "
+              "its self-run matches\n",
+              static_cast<unsigned long long>(collapsed.interleavings));
+  return 0;
+}

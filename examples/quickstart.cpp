@@ -1,0 +1,81 @@
+// Quickstart: verify a 3-rank MPI program with a wildcard-receive bug.
+//
+// The program is the paper's Fig. 3: P0 sends 22 and P2 sends 33 to P1,
+// which receives one of them with MPI_ANY_SOURCE and crashes iff it got
+// 33. Conventional testing almost always sees the benign outcome (the
+// runtime biases the match); DAMPI records the alternate match as a
+// potential match during the first run and *enforces* it in a replay,
+// catching the bug deterministically.
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+
+#include "core/verifier.hpp"
+#include "mpism/types.hpp"
+
+using namespace dampi;
+
+namespace {
+
+void buggy_program(mpism::Proc& p) {
+  constexpr mpism::Tag tag = 0;
+  switch (p.rank()) {
+    case 0:
+      p.send(1, tag, mpism::pack<int>(22));
+      break;
+    case 2:
+      p.send(1, tag, mpism::pack<int>(33));
+      break;
+    case 1: {
+      mpism::Bytes data;
+      p.recv(mpism::kAnySource, tag, &data);  // the non-deterministic match
+      const int x = mpism::unpack<int>(data);
+      p.require(x != 33, "crash: x == 33 (paper Fig. 3)");
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+}  // namespace
+
+int main() {
+  core::VerifyOptions options;
+  options.explorer.nprocs = 3;
+
+  core::Verifier verifier(options);
+  const core::VerifyResult result = verifier.verify(buggy_program);
+
+  std::printf("interleavings explored : %llu\n",
+              static_cast<unsigned long long>(
+                  result.exploration.interleavings));
+  std::printf("wildcard epochs (R*)   : %llu\n",
+              static_cast<unsigned long long>(
+                  result.exploration.wildcard_recv_epochs));
+  std::printf("slowdown vs native     : %.2fx\n", result.slowdown);
+
+  if (!result.error_found) {
+    std::printf("\nNo bug found — unexpected for this program!\n");
+    return 1;
+  }
+  const auto& bug = result.exploration.bugs.back();
+  std::printf("\nBUG FOUND in interleaving %llu:\n",
+              static_cast<unsigned long long>(bug.interleaving));
+  for (const auto& error : bug.errors) {
+    std::printf("  rank %d: %s\n", error.rank, error.message.c_str());
+  }
+  if (bug.schedule.empty()) {
+    std::printf("reproducing epoch decisions: (none — the very first "
+                "self-run already matched the buggy send)\n");
+  } else {
+    std::printf("reproducing epoch decisions:\n");
+    for (const auto& [key, src] : bug.schedule.forced) {
+      std::printf("  rank %d, nd-event #%llu -> match source %d\n", key.rank,
+                  static_cast<unsigned long long>(key.nd_index), src);
+    }
+    std::printf("\n(The decision file above deterministically replays the "
+                "failing interleaving.)\n");
+  }
+  return 0;
+}

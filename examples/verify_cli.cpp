@@ -1,0 +1,230 @@
+// dampi-verify: a command-line front end over the verifier.
+//
+// Usage:
+//   verify_cli --list
+//   verify_cli --program fig3 [--procs 3] [--k 1] [--clock vector]
+//              [--max-interleavings 1000] [--deferred-sync]
+//              [--auto-loop N] [--isp]
+//
+// Programs: the paper's pattern fixtures, matmult, mini-ADLB, the
+// ParMETIS proxy, and every Table II suite entry by name (104.milc, BT,
+// LU, ...).
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "core/decision_io.hpp"
+#include "core/report_format.hpp"
+#include "core/verifier.hpp"
+#include "isp/isp_verifier.hpp"
+#include "workloads/adlb.hpp"
+#include "workloads/matmult.hpp"
+#include "workloads/parmetis_proxy.hpp"
+#include "workloads/patterns.hpp"
+#include "workloads/suites.hpp"
+
+using namespace dampi;
+
+namespace {
+
+std::map<std::string, mpism::ProgramFn> program_registry() {
+  std::map<std::string, mpism::ProgramFn> programs;
+  programs["fig3"] = workloads::fig3_wildcard_bug;
+  programs["fig3-benign"] = workloads::fig3_benign;
+  programs["fig4"] = workloads::fig4_cross_coupled;
+  programs["fig10"] = workloads::fig10_unsafe_pattern;
+  programs["deadlock"] = workloads::simple_deadlock;
+  programs["wildcard-deadlock"] = workloads::wildcard_dependent_deadlock;
+  programs["leaky"] = workloads::leaky_program;
+  programs["matmult"] = [](mpism::Proc& p) {
+    workloads::MatmultConfig config;
+    config.n = 8;
+    config.chunk_rows = 1;
+    workloads::matmult(p, config);
+  };
+  programs["matmult-bug"] = [](mpism::Proc& p) {
+    workloads::MatmultConfig config;
+    config.n = 8;
+    config.chunk_rows = 1;
+    config.inject_order_bug = true;
+    workloads::matmult(p, config);
+  };
+  programs["adlb"] = [](mpism::Proc& p) {
+    workloads::adlb::Config config;
+    config.roots_per_server = 4;
+    workloads::adlb::run(p, config);
+  };
+  programs["parmetis"] = [](mpism::Proc& p) {
+    workloads::parmetis_proxy(p, workloads::ParmetisConfig{}.scaled(5));
+  };
+  for (const auto& entry : workloads::table2_suite()) {
+    programs[entry.spec.name] = [spec = entry.spec](mpism::Proc& p) {
+      workloads::run_skeleton(p, spec);
+    };
+  }
+  return programs;
+}
+
+int usage(const char* argv0) {
+  std::printf(
+      "usage: %s --program <name> [options]\n"
+      "       %s --list\n"
+      "options:\n"
+      "  --procs N              ranks to simulate (default 4)\n"
+      "  --k N                  bounded mixing window (default: unbounded)\n"
+      "  --clock lamport|vector causality tracker (default lamport)\n"
+      "  --max-interleavings N  exploration budget (default 4096)\n"
+      "  --deferred-sync        enable the par-of-clocks fix for the S5 "
+      "pattern\n"
+      "  --auto-loop N          automatic loop detection threshold\n"
+      "  --isp                  use the centralized ISP baseline instead\n"
+      "  --save-repro FILE      write the first bug's epoch-decisions "
+      "file\n"
+      "  --replay FILE          run once under a saved epoch-decisions "
+      "file\n",
+      argv0, argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto programs = program_registry();
+
+  std::string name;
+  int procs = 4;
+  std::optional<int> k;
+  core::ClockMode clock_mode = core::ClockMode::kLamport;
+  std::uint64_t max_interleavings = 4096;
+  bool deferred_sync = false;
+  int auto_loop = 0;
+  bool use_isp = false;
+  std::string save_repro_path;
+  std::string replay_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--list") {
+      for (const auto& [prog_name, fn] : programs) {
+        std::printf("%s\n", prog_name.c_str());
+      }
+      return 0;
+    } else if (arg == "--program") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      name = v;
+    } else if (arg == "--procs") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      procs = std::atoi(v);
+    } else if (arg == "--k") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      k = std::atoi(v);
+    } else if (arg == "--clock") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      clock_mode = std::strcmp(v, "vector") == 0 ? core::ClockMode::kVector
+                                                 : core::ClockMode::kLamport;
+    } else if (arg == "--max-interleavings") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      max_interleavings = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--deferred-sync") {
+      deferred_sync = true;
+    } else if (arg == "--auto-loop") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      auto_loop = std::atoi(v);
+    } else if (arg == "--isp") {
+      use_isp = true;
+    } else if (arg == "--save-repro") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      save_repro_path = v;
+    } else if (arg == "--replay") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      replay_path = v;
+    } else {
+      std::printf("unknown option: %s\n", arg.c_str());
+      return usage(argv[0]);
+    }
+  }
+
+  auto it = programs.find(name);
+  if (it == programs.end()) {
+    std::printf("unknown or missing --program (try --list)\n");
+    return usage(argv[0]);
+  }
+
+  core::ExplorerOptions explorer_options;
+  explorer_options.nprocs = procs;
+  explorer_options.mixing_bound = k;
+  explorer_options.clock_mode = clock_mode;
+  explorer_options.max_interleavings = max_interleavings;
+  explorer_options.deferred_clock_sync = deferred_sync;
+  explorer_options.auto_loop_threshold = auto_loop;
+
+  if (!replay_path.empty()) {
+    std::string error;
+    const auto schedule = core::load_schedule(replay_path, &error);
+    if (!schedule.has_value()) {
+      std::printf("cannot load %s: %s\n", replay_path.c_str(), error.c_str());
+      return 2;
+    }
+    const auto run =
+        core::run_guided_once(explorer_options, *schedule, it->second);
+    std::printf("replay of %s (%zu decisions):\n", replay_path.c_str(),
+                schedule->forced.size());
+    if (run.report.deadlocked) {
+      std::printf("DEADLOCK reproduced:\n%s",
+                  run.report.deadlock_detail.c_str());
+      return 1;
+    }
+    if (!run.report.errors.empty()) {
+      std::printf("FAILURE reproduced:\n");
+      for (const auto& error_info : run.report.errors) {
+        std::printf("  rank %d: %s\n", error_info.rank,
+                    error_info.message.c_str());
+      }
+      return 1;
+    }
+    std::printf("run completed cleanly (divergences: %llu)\n",
+                static_cast<unsigned long long>(run.divergences));
+    return 0;
+  }
+
+  core::VerifyResult result;
+  if (use_isp) {
+    isp::IspOptions options;
+    options.explorer = explorer_options;
+    isp::IspVerifier verifier(options);
+    result = verifier.verify(it->second);
+  } else {
+    core::VerifyOptions options;
+    options.explorer = explorer_options;
+    core::Verifier verifier(options);
+    result = verifier.verify(it->second);
+  }
+
+  std::printf("program                : %s (%d ranks, %s)\n", name.c_str(),
+              procs, use_isp ? "ISP baseline" : "DAMPI");
+  std::printf("%s", core::format_verify_result(result).c_str());
+  if (result.exploration.bugs.empty()) return 0;
+  if (!save_repro_path.empty()) {
+    if (core::save_schedule(result.exploration.bugs.front().schedule,
+                            save_repro_path)) {
+      std::printf("reproducer saved       : %s (replay with --replay)\n",
+                  save_repro_path.c_str());
+    } else {
+      std::printf("could not write %s\n", save_repro_path.c_str());
+    }
+  }
+  return 1;
+}

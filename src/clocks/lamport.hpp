@@ -1,0 +1,46 @@
+// Lamport logical clocks (Lamport, CACM 1978), as used by DAMPI.
+//
+// DAMPI's decentralized match detection keys on a single scalar clock per
+// process: each non-deterministic receive "starts an epoch" and bumps the
+// clock; piggybacked send clocks below the local clock identify *late*
+// (potentially matching) sends. The well-known imprecision — LC(a) < LC(b)
+// does not imply a happened-before b — is exactly the incompleteness the
+// paper analyzes in its Fig. 4 pattern; see clocks/vector_clock.hpp for the
+// precise alternative.
+#pragma once
+
+#include <cstdint>
+
+namespace dampi::clocks {
+
+/// Scalar Lamport time. Value semantics; all operations are trivial.
+class LamportClock {
+ public:
+  using Value = std::uint64_t;
+
+  constexpr LamportClock() = default;
+  constexpr explicit LamportClock(Value v) : value_(v) {}
+
+  constexpr Value value() const { return value_; }
+
+  /// Local event: advance time by one tick.
+  constexpr void tick() { ++value_; }
+
+  /// Incorporate a clock received from another process (message receipt,
+  /// collective completion): local = max(local, remote).
+  constexpr void merge(Value remote) {
+    if (remote > value_) value_ = remote;
+  }
+
+  friend constexpr bool operator==(LamportClock a, LamportClock b) {
+    return a.value_ == b.value_;
+  }
+  friend constexpr bool operator<(LamportClock a, LamportClock b) {
+    return a.value_ < b.value_;
+  }
+
+ private:
+  Value value_ = 0;
+};
+
+}  // namespace dampi::clocks

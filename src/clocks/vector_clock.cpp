@@ -1,0 +1,58 @@
+#include "clocks/vector_clock.hpp"
+
+#include "common/check.hpp"
+
+namespace dampi::clocks {
+
+VectorClock::VectorClock(int size, int owner)
+    : v_(static_cast<std::size_t>(size), 0), owner_(owner) {
+  DAMPI_CHECK(owner >= 0 && owner < size);
+}
+
+void VectorClock::tick() { ++v_[static_cast<std::size_t>(owner_)]; }
+
+void VectorClock::merge(const VectorClock& remote) { merge(remote.v_); }
+
+void VectorClock::merge(const std::vector<Value>& remote) {
+  DAMPI_CHECK(remote.size() == v_.size());
+  for (std::size_t i = 0; i < v_.size(); ++i) {
+    if (remote[i] > v_[i]) v_[i] = remote[i];
+  }
+}
+
+Ordering VectorClock::compare(const VectorClock& a, const VectorClock& b) {
+  return compare(a.v_, b.v_);
+}
+
+Ordering VectorClock::compare(const std::vector<Value>& a,
+                              const std::vector<Value>& b) {
+  DAMPI_CHECK(a.size() == b.size());
+  bool a_less = false;
+  bool b_less = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] < b[i]) a_less = true;
+    if (b[i] < a[i]) b_less = true;
+  }
+  if (a_less && b_less) return Ordering::kConcurrent;
+  if (a_less) return Ordering::kBefore;
+  if (b_less) return Ordering::kAfter;
+  return Ordering::kEqual;
+}
+
+bool VectorClock::not_after(const std::vector<Value>& a,
+                            const std::vector<Value>& b) {
+  const Ordering o = compare(a, b);
+  return o == Ordering::kBefore || o == Ordering::kConcurrent;
+}
+
+std::string VectorClock::str() const {
+  std::string out = "[";
+  for (std::size_t i = 0; i < v_.size(); ++i) {
+    if (i) out += ",";
+    out += std::to_string(v_[i]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace dampi::clocks

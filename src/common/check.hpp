@@ -1,0 +1,45 @@
+// Internal invariant checking.
+//
+// DAMPI_CHECK is active in all build types: the verifier's own invariants
+// guard the soundness of verification results, so compiling them out in
+// release builds would be self-defeating. Violations throw InternalError,
+// which the runtime surfaces as a tool failure (distinct from an error
+// found in the program under test).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace dampi {
+
+/// Raised when an internal invariant of the verifier or runtime is violated.
+/// Never used to report errors in the program under verification.
+class InternalError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  throw InternalError(std::string("DAMPI_CHECK failed: ") + expr + " at " +
+                      file + ":" + std::to_string(line) +
+                      (msg.empty() ? "" : (" — " + msg)));
+}
+}  // namespace detail
+
+}  // namespace dampi
+
+#define DAMPI_CHECK(expr)                                                 \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::dampi::detail::check_failed(#expr, __FILE__, __LINE__, {});       \
+    }                                                                     \
+  } while (false)
+
+#define DAMPI_CHECK_MSG(expr, msg)                                        \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::dampi::detail::check_failed(#expr, __FILE__, __LINE__, (msg));    \
+    }                                                                     \
+  } while (false)

@@ -1,0 +1,55 @@
+// Deterministic seeded RNG used everywhere randomness is needed.
+//
+// Verification replays must be reproducible, so all stochastic choices
+// (wildcard match policies, synthetic workload shapes) draw from SplitMix64
+// streams derived from explicit seeds — never from global entropy.
+#pragma once
+
+#include <cstdint>
+
+namespace dampi {
+
+/// SplitMix64: tiny, fast, and statistically solid for simulation purposes.
+/// Each instance is an independent stream fully determined by its seed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    // Modulo bias is irrelevant at simulation scales; keep it branch-free.
+    return next_u64() % bound;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw.
+  bool next_bool(double p_true) { return next_double() < p_true; }
+
+  /// Derive an independent stream (e.g. one per rank) from this seed.
+  Rng fork(std::uint64_t salt) const {
+    return Rng(state_ ^ (0x5851f42d4c957f2dULL * (salt + 1)));
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace dampi

@@ -1,0 +1,47 @@
+// Small statistics helpers shared by benches and the runtime's op counters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dampi {
+
+/// Streaming mean / min / max / stddev accumulator (Welford).
+class RunningStat {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Render `count` as a compact human string the way the paper prints op
+/// counts: 187K, 1315K, 7986K — i.e. thousands with a K suffix once >= 10K.
+std::string human_count(std::uint64_t count);
+
+/// Simple fixed-width text table used by the bench harnesses to print
+/// paper-style tables. Columns are sized to the widest cell.
+class TextTable {
+ public:
+  void header(std::vector<std::string> cells);
+  void row(std::vector<std::string> cells);
+  /// Render with column separators, header underline.
+  std::string str() const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+  bool has_header_ = false;
+};
+
+}  // namespace dampi

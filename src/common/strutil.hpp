@@ -1,0 +1,15 @@
+// printf-style string formatting (GCC 12 lacks <format>).
+#pragma once
+
+#include <string>
+
+namespace dampi {
+
+/// snprintf into a std::string. Format string must be a literal under
+/// -Wformat; arguments follow printf conventions.
+std::string strfmt(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Fixed-decimal double rendering, e.g. fmt_fixed(1.1834, 2) -> "1.18".
+std::string fmt_fixed(double value, int decimals);
+
+}  // namespace dampi

@@ -1,0 +1,99 @@
+#include "core/clock_state.hpp"
+
+#include "common/check.hpp"
+
+namespace dampi::core {
+namespace {
+
+using VcValue = clocks::VectorClock::Value;
+
+std::vector<VcValue> decode_vc(const mpism::Bytes& bytes) {
+  return mpism::unpack_vec<VcValue>(bytes);
+}
+
+}  // namespace
+
+ClockState::ClockState(ClockMode mode, int nprocs, int rank)
+    : mode_(mode), vector_(nprocs, rank) {}
+
+void ClockState::tick() {
+  // Both trackers advance so either view stays usable (the Lamport value
+  // is the trace-ordering key even in vector mode).
+  lamport_.tick();
+  vector_.tick();
+}
+
+void ClockState::merge(const mpism::Bytes& remote) {
+  if (remote.empty()) return;
+  if (mode_ == ClockMode::kLamport) {
+    lamport_.merge(mpism::unpack<std::uint64_t>(remote));
+  } else {
+    const auto components = decode_vc(remote);
+    vector_.merge(components);
+    // Keep the scalar view consistent: the Lamport analogue of a vector
+    // merge is max over the remote's own-entries... a scalar max over the
+    // sum is not meaningful, so track the max component instead, which
+    // preserves per-rank monotonicity for trace ordering.
+    std::uint64_t max_c = 0;
+    for (VcValue v : components) max_c = std::max(max_c, v);
+    lamport_.merge(max_c);
+  }
+}
+
+mpism::Bytes ClockState::serialize() const {
+  if (mode_ == ClockMode::kLamport) {
+    return mpism::pack<std::uint64_t>(lamport_.value());
+  }
+  return mpism::pack_vec(vector_.components());
+}
+
+bool ClockState::is_late(
+    const mpism::Bytes& msg_clock, std::uint64_t epoch_lc,
+    const std::vector<VcValue>& epoch_vc) const {
+  if (msg_clock.empty()) return false;
+  if (mode_ == ClockMode::kLamport) {
+    return mpism::unpack<std::uint64_t>(msg_clock) < epoch_lc;
+  }
+  return clocks::VectorClock::not_after(decode_vc(msg_clock), epoch_vc);
+}
+
+bool ClockState::is_after(
+    const mpism::Bytes& msg_clock, std::uint64_t epoch_lc,
+    const std::vector<VcValue>& epoch_vc) const {
+  if (msg_clock.empty()) return true;
+  if (mode_ == ClockMode::kLamport) {
+    return mpism::unpack<std::uint64_t>(msg_clock) >= epoch_lc;
+  }
+  const auto o =
+      clocks::VectorClock::compare(decode_vc(msg_clock), epoch_vc);
+  return o == clocks::Ordering::kAfter || o == clocks::Ordering::kEqual;
+}
+
+void ClockState::merge_epoch(
+    std::uint64_t lc, const std::vector<clocks::VectorClock::Value>& vc) {
+  lamport_.merge(lc);
+  if (mode_ == ClockMode::kVector && !vc.empty()) vector_.merge(vc);
+}
+
+mpism::Bytes ClockState::merge_serialized(
+    const std::vector<mpism::Bytes>& all) {
+  DAMPI_CHECK(!all.empty());
+  if (all[0].size() == sizeof(std::uint64_t)) {
+    std::uint64_t best = 0;
+    for (const mpism::Bytes& b : all) {
+      best = std::max(best, mpism::unpack<std::uint64_t>(b));
+    }
+    return mpism::pack(best);
+  }
+  auto merged = decode_vc(all[0]);
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    const auto other = decode_vc(all[i]);
+    DAMPI_CHECK(other.size() == merged.size());
+    for (std::size_t k = 0; k < merged.size(); ++k) {
+      merged[k] = std::max(merged[k], other[k]);
+    }
+  }
+  return mpism::pack_vec(merged);
+}
+
+}  // namespace dampi::core

@@ -1,0 +1,62 @@
+// Unified view over Lamport / vector clocks for the DAMPI layer: tick,
+// merge serialized remote clocks, and decide lateness ("is this message
+// not causally after that epoch?") under either mode.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "clocks/lamport.hpp"
+#include "clocks/vector_clock.hpp"
+#include "core/options.hpp"
+#include "mpism/types.hpp"
+
+namespace dampi::core {
+
+class ClockState {
+ public:
+  ClockState(ClockMode mode, int nprocs, int rank);
+
+  void tick();
+  /// Merge a serialized remote clock (no-op if empty — e.g. a message
+  /// that predates instrumentation in tests).
+  void merge(const mpism::Bytes& remote);
+  mpism::Bytes serialize() const;
+
+  std::uint64_t lamport_value() const { return lamport_.value(); }
+  const std::vector<clocks::VectorClock::Value>& vector_components() const {
+    return vector_.components();
+  }
+
+  /// Is a message carrying `msg_clock` (serialized) late with respect to
+  /// an epoch whose clocks were (epoch_lc, epoch_vc)? Lamport mode:
+  /// msg.LC < epoch.LC (paper §II-C). Vector mode: msg not causally after
+  /// the epoch.
+  bool is_late(const mpism::Bytes& msg_clock, std::uint64_t epoch_lc,
+               const std::vector<clocks::VectorClock::Value>& epoch_vc) const;
+
+  /// True when the message is causally *after* the epoch — the early-exit
+  /// condition when scanning a rank's epochs newest-to-oldest (anything
+  /// after epoch_i is also after every older epoch of the same rank).
+  bool is_after(const mpism::Bytes& msg_clock, std::uint64_t epoch_lc,
+                const std::vector<clocks::VectorClock::Value>& epoch_vc) const;
+
+  ClockMode mode() const { return mode_; }
+
+  /// Merge a raw epoch timestamp (the deferred-sync path: a transmittal
+  /// clock catches up to a completed wildcard's epoch without absorbing
+  /// the ticks of still-pending epochs).
+  void merge_epoch(std::uint64_t lc,
+                   const std::vector<clocks::VectorClock::Value>& vc);
+
+  /// Merge function for collective piggyback routing (component-wise /
+  /// scalar max), suitable for mpism::ToolSetup::coll_merge.
+  static mpism::Bytes merge_serialized(const std::vector<mpism::Bytes>& all);
+
+ private:
+  ClockMode mode_;
+  clocks::LamportClock lamport_;
+  clocks::VectorClock vector_;
+};
+
+}  // namespace dampi::core

@@ -1,0 +1,27 @@
+// The Epoch Decisions file (paper §II-B/E): which source each guided
+// epoch must match in a replay. A rank runs GUIDED until the first of its
+// epochs with no decision, then reverts to SELF_RUN — the paper's
+// guided_epoch frontier, expressed per key.
+#pragma once
+
+#include <map>
+
+#include "core/epoch.hpp"
+#include "mpism/types.hpp"
+
+namespace dampi::core {
+
+struct Schedule {
+  /// epoch -> forced source (world rank).
+  std::map<EpochKey, mpism::Rank> forced;
+
+  bool empty() const { return forced.empty(); }
+
+  /// Decision for this epoch, or kAnySource if none.
+  mpism::Rank lookup(const EpochKey& key) const {
+    auto it = forced.find(key);
+    return it == forced.end() ? mpism::kAnySource : it->second;
+  }
+};
+
+}  // namespace dampi::core

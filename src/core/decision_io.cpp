@@ -1,0 +1,91 @@
+#include "core/decision_io.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/strutil.hpp"
+
+namespace dampi::core {
+
+namespace {
+constexpr const char* kHeader = "# dampi-epoch-decisions v1";
+}
+
+std::string serialize_schedule(const Schedule& schedule) {
+  std::string out = kHeader;
+  out += '\n';
+  for (const auto& [key, src] : schedule.forced) {
+    out += strfmt("%d %llu %d\n", key.rank,
+                  static_cast<unsigned long long>(key.nd_index), src);
+  }
+  return out;
+}
+
+std::optional<Schedule> parse_schedule(const std::string& text,
+                                       std::string* error) {
+  auto fail = [error](std::string message) -> std::optional<Schedule> {
+    if (error != nullptr) *error = std::move(message);
+    return std::nullopt;
+  };
+  Schedule schedule;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Trim trailing carriage returns / whitespace.
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+      line.pop_back();
+    }
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      if (line == kHeader) saw_header = true;
+      continue;
+    }
+    int rank = -1;
+    unsigned long long nd = 0;
+    int src = -1;
+    if (std::sscanf(line.c_str(), "%d %llu %d", &rank, &nd, &src) != 3) {
+      return fail(strfmt("line %d: expected '<rank> <nd> <src>'", line_no));
+    }
+    if (rank < 0 || src < 0) {
+      return fail(strfmt("line %d: negative rank or source", line_no));
+    }
+    if (rank == src) {
+      return fail(strfmt("line %d: a rank cannot match itself", line_no));
+    }
+    const EpochKey key{rank, static_cast<std::uint64_t>(nd)};
+    if (schedule.forced.count(key) != 0) {
+      return fail(strfmt("line %d: duplicate decision for rank %d nd %llu",
+                         line_no, rank, nd));
+    }
+    schedule.forced[key] = src;
+  }
+  if (!saw_header) {
+    return fail("missing '# dampi-epoch-decisions v1' header");
+  }
+  return schedule;
+}
+
+bool save_schedule(const Schedule& schedule, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << serialize_schedule(schedule);
+  return static_cast<bool>(out);
+}
+
+std::optional<Schedule> load_schedule(const std::string& path,
+                                      std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_schedule(buffer.str(), error);
+}
+
+}  // namespace dampi::core

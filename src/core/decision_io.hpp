@@ -1,0 +1,34 @@
+// The Epoch Decisions *file* (paper §II-B: "we record it as a Potential
+// Match in a file... DAMPI's scheduler computes the Epoch Decisions file
+// that has the information to force alternate matches"). A schedule
+// serializes to a small line-oriented text format, so reproducers can be
+// saved next to a bug report and replayed later (verify_cli --replay).
+//
+// Format:
+//   # dampi-epoch-decisions v1
+//   <rank> <nd_index> <forced_source_world_rank>
+//   ...
+// Blank lines and #-comments are ignored.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/decision.hpp"
+
+namespace dampi::core {
+
+std::string serialize_schedule(const Schedule& schedule);
+
+/// Parses the textual form; nullopt (with *error filled when non-null)
+/// on malformed input.
+std::optional<Schedule> parse_schedule(const std::string& text,
+                                       std::string* error = nullptr);
+
+/// Write/read a schedule to/from a file. save returns false on I/O
+/// failure; load returns nullopt on I/O or parse failure.
+bool save_schedule(const Schedule& schedule, const std::string& path);
+std::optional<Schedule> load_schedule(const std::string& path,
+                                      std::string* error = nullptr);
+
+}  // namespace dampi::core

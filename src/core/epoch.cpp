@@ -1,0 +1,41 @@
+#include "core/epoch.hpp"
+
+#include <algorithm>
+
+namespace dampi::core {
+
+std::vector<const EpochRecord*> RunTrace::sorted() const {
+  std::vector<const EpochRecord*> out;
+  out.reserve(epochs.size());
+  for (const EpochRecord& e : epochs) out.push_back(&e);
+  std::sort(out.begin(), out.end(),
+            [](const EpochRecord* a, const EpochRecord* b) {
+              if (a->lc != b->lc) return a->lc < b->lc;
+              return a->key < b->key;
+            });
+  return out;
+}
+
+void TraceSink::flush_rank(std::vector<EpochRecord> epochs,
+                           std::vector<UnsafeAlert> alerts,
+                           std::uint64_t recv_epochs,
+                           std::uint64_t probe_epochs,
+                           std::uint64_t potentials, std::uint64_t lates) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& e : epochs) {
+    if (e.auto_abstracted) ++trace_.auto_abstracted_epochs;
+    trace_.epochs.push_back(std::move(e));
+  }
+  for (auto& a : alerts) trace_.alerts.push_back(std::move(a));
+  trace_.wildcard_recv_epochs += recv_epochs;
+  trace_.wildcard_probe_epochs += probe_epochs;
+  trace_.potential_matches += potentials;
+  trace_.late_messages_seen += lates;
+}
+
+RunTrace TraceSink::take() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::move(trace_);
+}
+
+}  // namespace dampi::core

@@ -1,0 +1,112 @@
+// Epochs and potential matches — the paper's central data structure.
+//
+// Every non-deterministic event (wildcard receive, flagged wildcard
+// probe) starts an epoch on its rank. During the run, each incoming
+// message whose piggybacked clock shows it is not causally after an
+// epoch, and that is tag/communicator-compatible with it, is recorded as
+// a *potential match* for that epoch — keeping only the earliest late
+// send per source, which is what MPI's non-overtaking rule permits as an
+// alternative.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "clocks/vector_clock.hpp"
+#include "mpism/types.hpp"
+
+namespace dampi::core {
+
+/// Stable identity of an epoch across replays: the rank plus the ordinal
+/// of the ND event on that rank. (The paper keys its Epoch Decisions file
+/// by Lamport clock value, which replays identically under a forced
+/// prefix; the ordinal is the same bookkeeping, robust even if clock
+/// update rules change.)
+struct EpochKey {
+  int rank = -1;
+  std::uint64_t nd_index = 0;
+
+  friend auto operator<=>(const EpochKey&, const EpochKey&) = default;
+};
+
+/// One alternative match for an epoch: the earliest late send observed
+/// from one source.
+struct PotentialMatch {
+  mpism::Rank src_world = -1;
+  std::uint64_t seq = 0;
+  mpism::Tag tag = mpism::kAnyTag;
+  std::uint64_t msg_id = 0;
+};
+
+struct EpochRecord {
+  EpochKey key;
+  /// Lamport clock value when the epoch began (before the tick). Used as
+  /// the global trace-ordering component; monotone per rank.
+  std::uint64_t lc = 0;
+  /// Vector timestamp at the same instant (vector mode only; empty in
+  /// Lamport mode).
+  std::vector<clocks::VectorClock::Value> vc;
+
+  mpism::CommId comm = mpism::kCommWorld;
+  /// Tag as posted by the program (may be kAnyTag).
+  mpism::Tag tag = mpism::kAnyTag;
+  bool is_probe = false;
+  /// Epoch fell inside an MPI_Pcontrol loop-abstraction region: keep the
+  /// self-run match, record no alternatives.
+  bool in_ignored_region = false;
+  /// in_ignored_region was set by the automatic loop detector rather
+  /// than a user Pcontrol bracket.
+  bool auto_abstracted = false;
+
+  /// Outcome of this epoch in this run (world rank of the matched/probed
+  /// sender). -1 until completion is observed.
+  mpism::Rank matched_src_world = -1;
+  std::uint64_t matched_seq = 0;
+
+  /// Earliest late send per source (excluding the matched source).
+  std::map<mpism::Rank, PotentialMatch> alternatives;
+};
+
+/// One unsafe-pattern alert (paper §V).
+struct UnsafeAlert {
+  int rank = -1;
+  std::string detail;
+};
+
+/// Everything one run left behind, flushed per rank by the DAMPI layer
+/// (at finalize, or at teardown for aborted runs).
+struct RunTrace {
+  std::vector<EpochRecord> epochs;
+  std::vector<UnsafeAlert> alerts;
+  std::uint64_t wildcard_recv_epochs = 0;  ///< Table II's R* for this run
+  std::uint64_t wildcard_probe_epochs = 0;
+  std::uint64_t potential_matches = 0;
+  std::uint64_t late_messages_seen = 0;
+  std::uint64_t auto_abstracted_epochs = 0;
+
+  /// Epochs in canonical trace order: (lc, rank, nd_index). Stable for a
+  /// replayed prefix because forced matches reproduce clock propagation.
+  std::vector<const EpochRecord*> sorted() const;
+};
+
+/// Thread-safe sink the per-rank layers flush into. One per run.
+class TraceSink {
+ public:
+  void flush_rank(std::vector<EpochRecord> epochs,
+                  std::vector<UnsafeAlert> alerts, std::uint64_t recv_epochs,
+                  std::uint64_t probe_epochs, std::uint64_t potentials,
+                  std::uint64_t lates);
+
+  /// Take the accumulated trace (call after the run's Runtime is gone).
+  RunTrace take();
+
+ private:
+  std::mutex mu_;
+  RunTrace trace_;
+};
+
+}  // namespace dampi::core

@@ -1,0 +1,246 @@
+#include "core/explorer.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+
+#include "common/logging.hpp"
+#include "core/dampi_layer.hpp"
+#include "piggyback/telepathic.hpp"
+
+namespace dampi::core {
+namespace {
+
+void collect_alerts(const RunTrace& trace, ExploreResult& result) {
+  for (const UnsafeAlert& alert : trace.alerts) {
+    if (std::find(result.unsafe_alerts.begin(), result.unsafe_alerts.end(),
+                  alert.detail) == result.unsafe_alerts.end()) {
+      result.unsafe_alerts.push_back(alert.detail);
+    }
+  }
+}
+
+/// Reproducer for a failing run: the decisions that were forced plus
+/// every match the run actually observed. Replaying this schedule pins
+/// the entire matching, so even a bug first seen in a native race (empty
+/// forced set) replays deterministically.
+Schedule reproducer_schedule(const Schedule& forced, const RunTrace& trace) {
+  Schedule out = forced;
+  for (const EpochRecord& epoch : trace.epochs) {
+    if (epoch.matched_src_world < 0) continue;  // never completed
+    out.forced.emplace(epoch.key, epoch.matched_src_world);
+  }
+  return out;
+}
+
+void record_bug_if_any(const mpism::RunReport& report,
+                       const Schedule& schedule, const RunTrace& trace,
+                       std::uint64_t interleaving, ExploreResult& result) {
+  if (report.deadlocked) {
+    BugRecord bug;
+    bug.kind = BugRecord::Kind::kDeadlock;
+    bug.interleaving = interleaving;
+    bug.deadlock_detail = report.deadlock_detail;
+    bug.schedule = reproducer_schedule(schedule, trace);
+    result.bugs.push_back(std::move(bug));
+  } else if (!report.errors.empty()) {
+    BugRecord bug;
+    bug.kind = BugRecord::Kind::kError;
+    bug.interleaving = interleaving;
+    bug.errors = report.errors;
+    bug.schedule = reproducer_schedule(schedule, trace);
+    result.bugs.push_back(std::move(bug));
+  }
+}
+
+}  // namespace
+
+Explorer::Explorer(ExplorerOptions options) : options_(std::move(options)) {}
+
+SingleRun run_guided_once(const ExplorerOptions& options,
+                          const Schedule& schedule,
+                          const mpism::ProgramFn& program) {
+  auto sink = std::make_shared<TraceSink>();
+  auto shared = std::make_shared<DampiShared>(options, schedule, sink);
+  std::shared_ptr<piggyback::TelepathicBoard> board;
+  if (options.transport == piggyback::TransportKind::kTelepathic) {
+    board = std::make_shared<piggyback::TelepathicBoard>();
+  }
+
+  mpism::RunOptions run_options;
+  run_options.nprocs = options.nprocs;
+  run_options.cost = options.cost;
+  run_options.policy = options.policy;
+  run_options.policy_seed = options.policy_seed;
+  run_options.tools = make_dampi_setup(shared, board);
+
+  SingleRun outcome;
+  {
+    // Scope the Runtime so every DampiLayer flushes (even on abort)
+    // before the sink is drained.
+    mpism::Runtime runtime(std::move(run_options));
+    outcome.report = runtime.run(program);
+  }
+  outcome.trace = sink->take();
+  outcome.divergences = shared->divergences.load(std::memory_order_relaxed);
+  return outcome;
+}
+
+Explorer::RunOutcome Explorer::run_one(const mpism::ProgramFn& program,
+                                       const Schedule& schedule) {
+  SingleRun run = run_guided_once(options_, schedule, program);
+  return RunOutcome{std::move(run.report), std::move(run.trace),
+                    run.divergences};
+}
+
+void Explorer::extend_stack(const RunTrace& trace, int flip_pos,
+                            ExploreResult& result) {
+  const auto sorted = trace.sorted();
+  std::map<EpochKey, const EpochRecord*> by_key;
+  for (const EpochRecord* e : sorted) by_key[e->key] = e;
+
+  // Prefix frames: verify the guided replay reproduced each decision
+  // (replay-determinism soundness check) and — in unbounded mode only —
+  // merge in any alternatives this run revealed that the creating run
+  // could not see (e.g. a send that was causally ordered in the old
+  // outcome but concurrent in the new one). Full coverage is only
+  // promised without a mixing bound; with one, accumulating prefix
+  // alternatives would defeat the window and re-explode the search.
+  const bool merge_prefix_alts = !options_.mixing_bound.has_value();
+  std::set<EpochKey> prefix_keys;
+  for (int j = 0; j <= flip_pos; ++j) {
+    Frame& frame = stack_[static_cast<std::size_t>(j)];
+    prefix_keys.insert(frame.key);
+    auto it = by_key.find(frame.key);
+    if (it == by_key.end() ||
+        it->second->matched_src_world != frame.taken_src) {
+      ++result.prefix_mismatches;
+      DAMPI_LOG(kWarn) << "replay prefix mismatch at epoch (rank "
+                       << frame.key.rank << ", nd " << frame.key.nd_index
+                       << ")";
+      continue;
+    }
+    if (merge_prefix_alts && frame.record_alts) {
+      for (const auto& [src, match] : it->second->alternatives) {
+        if (frame.seen.insert(src).second) frame.untried.push_back(src);
+      }
+    }
+  }
+
+  // Budget for epochs discovered below the flip: unbounded mode has no
+  // window; bounded mode inherits the flipped frame's remaining budget
+  // (anchored windows). Initial-trace epochs always record alternatives
+  // and each carries a fresh window of k.
+  constexpr int kNoLimit = 1 << 28;
+  const int k = options_.mixing_bound.value_or(kNoLimit);
+  const int window_budget =
+      flip_pos < 0 ? kNoLimit
+                   : stack_[static_cast<std::size_t>(flip_pos)].mix_budget;
+
+  int new_depth = 0;
+  for (const EpochRecord* epoch : sorted) {
+    if (prefix_keys.count(epoch->key) != 0) continue;
+    ++new_depth;
+    Frame frame;
+    frame.key = epoch->key;
+    frame.lc = epoch->lc;
+    frame.taken_src = epoch->matched_src_world;
+    frame.seen.insert(frame.taken_src);
+    const bool within_window = new_depth <= window_budget;
+    frame.mix_budget =
+        flip_pos < 0 ? k : std::max(window_budget - new_depth, 0);
+    frame.record_alts = within_window && !epoch->in_ignored_region;
+    if (frame.record_alts) {
+      frame.untried.reserve(epoch->alternatives.size());
+      for (const auto& [src, match] : epoch->alternatives) {
+        if (frame.seen.insert(src).second) frame.untried.push_back(src);
+      }
+    }
+    stack_.push_back(std::move(frame));
+  }
+}
+
+ExploreResult Explorer::explore(const mpism::ProgramFn& program,
+                                const RunObserver& observer) {
+  const auto t0 = std::chrono::steady_clock::now();
+  auto elapsed = [&t0] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+  };
+
+  ExploreResult result;
+  stack_.clear();
+
+  // Initial SELF_RUN discovery execution.
+  RunOutcome first = run_one(program, Schedule{});
+  result.interleavings = 1;
+  result.first_report = first.report;
+  result.wildcard_recv_epochs = first.trace.wildcard_recv_epochs;
+  result.wildcard_probe_epochs = first.trace.wildcard_probe_epochs;
+  result.potential_matches_first_run = first.trace.potential_matches;
+  result.first_run_vtime_us = first.report.vtime_us;
+  result.total_vtime_us += first.report.vtime_us;
+  result.divergences += first.divergences;
+  collect_alerts(first.trace, result);
+  record_bug_if_any(first.report, Schedule{}, first.trace, 1, result);
+  if (observer) observer(first.trace, first.report, Schedule{});
+  extend_stack(first.trace, /*flip_pos=*/-1, result);
+
+  const bool stop_now =
+      options_.stop_on_first_error && result.found_bug();
+  while (!stop_now) {
+    if (result.interleavings >= options_.max_interleavings) {
+      result.interleaving_budget_exhausted =
+          std::any_of(stack_.begin(), stack_.end(),
+                      [](const Frame& f) { return !f.untried.empty(); });
+      break;
+    }
+    if (elapsed() > options_.max_wall_seconds) {
+      result.time_budget_exhausted = true;
+      break;
+    }
+
+    // Deepest frame with an untried alternative.
+    int flip = -1;
+    for (int i = static_cast<int>(stack_.size()) - 1; i >= 0; --i) {
+      if (!stack_[static_cast<std::size_t>(i)].untried.empty()) {
+        flip = i;
+        break;
+      }
+    }
+    if (flip < 0) break;  // all epoch decisions exhausted
+
+    stack_.resize(static_cast<std::size_t>(flip) + 1);
+    Frame& frame = stack_[static_cast<std::size_t>(flip)];
+    frame.taken_src = frame.untried.back();
+    frame.untried.pop_back();
+
+    Schedule schedule;
+    for (int j = 0; j <= flip; ++j) {
+      const Frame& f = stack_[static_cast<std::size_t>(j)];
+      schedule.forced[f.key] = f.taken_src;
+    }
+
+    RunOutcome outcome = run_one(program, schedule);
+    ++result.interleavings;
+    result.total_vtime_us += outcome.report.vtime_us;
+    result.divergences += outcome.divergences;
+    collect_alerts(outcome.trace, result);
+    record_bug_if_any(outcome.report, schedule, outcome.trace,
+                      result.interleavings, result);
+    if (observer) observer(outcome.trace, outcome.report, schedule);
+    if (options_.stop_on_first_error && result.found_bug()) break;
+
+    // Only completed runs contribute new decision points; a failed replay
+    // is reported, not extended.
+    if (outcome.report.completed) {
+      extend_stack(outcome.trace, flip, result);
+    }
+  }
+
+  result.total_wall_seconds = elapsed();
+  return result;
+}
+
+}  // namespace dampi::core

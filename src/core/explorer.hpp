@@ -1,0 +1,125 @@
+// Explorer: DAMPI's Schedule Generator. Runs the program once in
+// SELF_RUN, then performs a depth-first walk over the recorded epoch
+// decisions, forcing alternate matches in guided replays — "successively
+// force alternate matches at the last step; then at the penultimate
+// step; and so on until all Epoch Decisions are exhausted" (§II-B).
+//
+// Stateless search: every interleaving is a fresh run of the program
+// under a decision file. Bounded mixing caps how deep below a freshly
+// flipped decision new alternatives are recorded.
+#pragma once
+
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/decision.hpp"
+#include "core/epoch.hpp"
+#include "core/options.hpp"
+#include "mpism/report.hpp"
+#include "mpism/runtime.hpp"
+
+namespace dampi::core {
+
+/// A bug found during exploration, with the decision file that reproduces
+/// the interleaving exposing it.
+struct BugRecord {
+  enum class Kind { kDeadlock, kError };
+  Kind kind = Kind::kError;
+  std::uint64_t interleaving = 0;  ///< 1-based run index
+  std::vector<mpism::ErrorInfo> errors;
+  std::string deadlock_detail;
+  Schedule schedule;
+};
+
+struct ExploreResult {
+  std::uint64_t interleavings = 0;
+  std::vector<BugRecord> bugs;
+
+  /// First (SELF_RUN) execution data — what Table II reports.
+  mpism::RunReport first_report;
+  std::uint64_t wildcard_recv_epochs = 0;  ///< R*
+  std::uint64_t wildcard_probe_epochs = 0;
+  std::uint64_t potential_matches_first_run = 0;
+  double first_run_vtime_us = 0.0;
+
+  /// Aggregates over every interleaving.
+  double total_vtime_us = 0.0;  ///< sum of per-run virtual times
+  double total_wall_seconds = 0.0;
+  std::vector<std::string> unsafe_alerts;  ///< deduplicated
+  std::uint64_t divergences = 0;
+  std::uint64_t prefix_mismatches = 0;
+
+  bool interleaving_budget_exhausted = false;
+  bool time_budget_exhausted = false;
+
+  bool found_bug() const { return !bugs.empty(); }
+};
+
+/// One instrumented execution under an explicit decision file — the
+/// replay primitive (used by the explorer, by tests, and by
+/// verify_cli --replay to re-run saved reproducers).
+struct SingleRun {
+  mpism::RunReport report;
+  RunTrace trace;
+  std::uint64_t divergences = 0;
+};
+
+SingleRun run_guided_once(const ExplorerOptions& options,
+                          const Schedule& schedule,
+                          const mpism::ProgramFn& program);
+
+class Explorer {
+ public:
+  explicit Explorer(ExplorerOptions options);
+
+  /// Called after every run; lets tests collect per-interleaving
+  /// outcomes (e.g. to compare coverage against a brute-force oracle).
+  using RunObserver = std::function<void(
+      const RunTrace&, const mpism::RunReport&, const Schedule&)>;
+
+  ExploreResult explore(const mpism::ProgramFn& program,
+                        const RunObserver& observer = {});
+
+ private:
+  struct Frame {
+    EpochKey key;
+    std::uint64_t lc = 0;
+    mpism::Rank taken_src = -1;
+    std::vector<mpism::Rank> untried;
+    /// Every source ever queued for this epoch (taken or untried); later
+    /// runs may reveal alternatives the creating run could not see, and
+    /// those are merged exactly once.
+    std::set<mpism::Rank> seen;
+    /// False when the frame was created outside the bounded-mixing
+    /// window or inside a loop-abstraction region: it takes whatever the
+    /// run gives it and never accumulates alternatives.
+    bool record_alts = true;
+    /// Remaining bounded-mixing budget: how many epochs below a flip of
+    /// this frame may still record alternatives. Windows are anchored,
+    /// not sliding — a frame discovered at depth d inside a window of
+    /// budget b carries b - d, so exploration below an initial-trace
+    /// epoch never exceeds k levels (paper §III-B2: "recursively explore
+    /// all paths below that option up to depth k").
+    int mix_budget = 0;
+  };
+
+  struct RunOutcome {
+    mpism::RunReport report;
+    RunTrace trace;
+    std::uint64_t divergences = 0;
+  };
+
+  RunOutcome run_one(const mpism::ProgramFn& program,
+                     const Schedule& schedule);
+  /// Append new frames discovered by a run; `flip_pos` is the stack index
+  /// that was flipped to trigger it (-1 for the initial run).
+  void extend_stack(const RunTrace& trace, int flip_pos,
+                    ExploreResult& result);
+
+  ExplorerOptions options_;
+  std::vector<Frame> stack_;
+};
+
+}  // namespace dampi::core

@@ -1,0 +1,94 @@
+// Configuration of the DAMPI verifier.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "mpism/cost_model.hpp"
+#include "mpism/policy.hpp"
+#include "mpism/tool.hpp"
+#include "piggyback/transport.hpp"
+
+namespace dampi::core {
+
+/// Which causality tracker drives late-message analysis. Lamport is the
+/// paper's scalable default; Vector restores the completeness lost on
+/// cross-coupled patterns (paper §II-F) at O(N) piggyback size.
+enum class ClockMode { kLamport, kVector };
+
+/// A per-run factory of per-rank tool-layer stacks, used to prepend
+/// layers above DAMPI's (the ISP baseline injects its scheduler-cost
+/// layer this way). Invoked once per run so run-scoped shared state (a
+/// fresh scheduler timeline) can be created.
+using LayerStackFactory =
+    std::function<std::vector<std::unique_ptr<mpism::ToolLayer>>(int rank,
+                                                                 int nprocs)>;
+
+struct ExplorerOptions {
+  int nprocs = 2;
+
+  ClockMode clock_mode = ClockMode::kLamport;
+  piggyback::TransportKind transport =
+      piggyback::TransportKind::kSeparateMessage;
+
+  /// Bounded mixing (paper §III-B2): after flipping an epoch decision,
+  /// record alternatives only for the first k epochs discovered below the
+  /// flip. nullopt = unbounded (full depth-first coverage); 0 degenerates
+  /// to ~(one flip per alternative of the initial trace).
+  std::optional<int> mixing_bound;
+
+  /// Honor MPI_Pcontrol loop-abstraction regions (paper §III-B1):
+  /// wildcard epochs inside a bracketed region keep their self-run match
+  /// and contribute no alternatives.
+  bool loop_abstraction = true;
+
+  /// Dynamic monitor for the paper's §V omission pattern (clock escapes
+  /// between a wildcard Irecv and its Wait/Test).
+  bool unsafe_monitor = true;
+
+  /// Future work from §VI, implemented: automatic loop-iteration
+  /// detection. After this many *consecutive* ND events with an
+  /// identical signature (communicator, tag, receive-vs-probe) on one
+  /// rank, further identical events are treated like a Pcontrol region —
+  /// they keep their self-run match and contribute no alternatives. This
+  /// is the "recognize patterns of MPI operations and safely ignore such
+  /// regions" mechanism; 0 disables it. The first `threshold` iterations
+  /// of every loop are still explored, so distinct early behaviour keeps
+  /// coverage.
+  int auto_loop_threshold = 0;
+
+  /// The fix §V sketches as future work, implemented: keep a *pair* of
+  /// clocks — one driving wildcard epochs, one piggybacked on outgoing
+  /// traffic — synchronized only when the wildcard's Wait/Test
+  /// completes. A barrier or send issued between an Irecv(*) and its
+  /// Wait then transmits the pre-epoch clock, so the competing send of
+  /// Fig. 10 is correctly classified late and the omission disappears.
+  bool deferred_clock_sync = false;
+
+  /// Search budget.
+  std::uint64_t max_interleavings = 1u << 20;
+  double max_wall_seconds = 1e9;
+  bool stop_on_first_error = false;
+
+  /// Runtime knobs for each run.
+  mpism::PolicyKind policy = mpism::PolicyKind::kLowestSource;
+  std::uint64_t policy_seed = 1;
+  mpism::CostModel cost;
+
+  /// Virtual-time cost of DAMPI's own bookkeeping, charged by the layer:
+  /// per wildcard epoch recorded (dominated by writing the epoch /
+  /// potential-match record to the on-disk log the schedule generator
+  /// reads) and per late-message comparison. These are what make
+  /// wildcard-heavy codes (milc in Table II) an order of magnitude
+  /// slower under DAMPI while deterministic codes stay near 1x.
+  double epoch_record_cost_us = 150.0;
+  double late_analysis_cost_us = 0.2;
+
+  /// Extra layers stacked above DAMPI's per run (ISP baseline).
+  std::function<LayerStackFactory()> extra_layers_per_run;
+};
+
+}  // namespace dampi::core

@@ -1,0 +1,18 @@
+// Human-readable rendering of verification results — what a user sees
+// at the end of a run (the CLI uses it; library users can too).
+#pragma once
+
+#include <string>
+
+#include "core/verifier.hpp"
+
+namespace dampi::core {
+
+/// Multi-line summary: exploration counts, R*, overhead, leaks, alerts,
+/// and each bug with its reproducing decision file inline.
+std::string format_verify_result(const VerifyResult& result);
+
+/// One bug, with its decisions.
+std::string format_bug(const BugRecord& bug);
+
+}  // namespace dampi::core

@@ -1,0 +1,1362 @@
+#include "mpism/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <thread>
+
+#include "common/check.hpp"
+#include "common/logging.hpp"
+#include "common/strutil.hpp"
+
+namespace dampi::mpism {
+namespace {
+
+constexpr Tag kMaxUserTag = (1 << 30);
+
+bool is_all_style(CollKind kind) {
+  switch (kind) {
+    case CollKind::kBarrier:
+    case CollKind::kAllreduce:
+    case CollKind::kAllgather:
+    case CollKind::kAlltoall:
+    case CollKind::kCommDup:
+    case CollKind::kCommSplit:
+    case CollKind::kCommFree:
+      return true;
+    case CollKind::kBcast:
+    case CollKind::kScatter:
+    case CollKind::kReduce:
+    case CollKind::kGather:
+      return false;
+  }
+  return true;
+}
+
+bool root_to_leaves(CollKind kind) {
+  return kind == CollKind::kBcast || kind == CollKind::kScatter;
+}
+
+bool leaves_to_root(CollKind kind) {
+  return kind == CollKind::kReduce || kind == CollKind::kGather;
+}
+
+bool compatible(const RequestRecord& rec, const Envelope& env) {
+  return rec.comm == env.comm &&
+         (rec.posted_src_world == kAnySource ||
+          rec.posted_src_world == env.src_world) &&
+         (rec.posted_tag == kAnyTag || rec.posted_tag == env.tag);
+}
+
+bool env_matches(const Envelope& env, Rank src_world, Tag tag, CommId comm) {
+  return env.comm == comm &&
+         (src_world == kAnySource || env.src_world == src_world) &&
+         (tag == kAnyTag || env.tag == tag);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ToolCtx implementation
+// ---------------------------------------------------------------------------
+
+class ToolCtxImpl final : public ToolCtx {
+ public:
+  ToolCtxImpl(Engine& engine, Rank rank) : e_(&engine), r_(rank) {}
+
+  Rank world_rank() const override { return r_; }
+  int world_size() const override { return e_->world_size(); }
+  int comm_size(CommId comm) const override { return e_->comm_size_of(comm); }
+  Rank comm_rank(CommId comm) const override {
+    return e_->comm_rank_of(comm, r_);
+  }
+  Rank to_world(CommId comm, Rank rel) const override {
+    return e_->to_world(comm, rel);
+  }
+  Rank to_rel(CommId comm, Rank world) const override {
+    return e_->to_rel(comm, world);
+  }
+
+  RequestId raw_isend(Rank dst, Tag tag, CommId comm, Bytes payload) override {
+    return e_->raw_isend(r_, dst, tag, comm, std::move(payload));
+  }
+  RequestId raw_irecv(Rank src, Tag tag, CommId comm) override {
+    return e_->raw_irecv(r_, src, tag, comm);
+  }
+  Status raw_wait(RequestId req, Bytes* out) override {
+    return e_->raw_wait(r_, req, out);
+  }
+  Status raw_recv(Rank src, Tag tag, CommId comm, Bytes* out) override {
+    return e_->raw_recv(r_, src, tag, comm, out);
+  }
+  bool raw_iprobe(Rank src, Tag tag, CommId comm, Status* status) override {
+    return e_->raw_iprobe(r_, src, tag, comm, status);
+  }
+  void raw_barrier(CommId comm) override { return e_->raw_barrier(r_, comm); }
+  CommId raw_comm_dup(CommId comm) override {
+    return e_->raw_comm_dup(r_, comm);
+  }
+  void add_cost(double us) override { e_->add_cost(r_, us); }
+  double vtime() const override { return e_->vtime_of(r_); }
+
+ private:
+  Engine* e_;
+  Rank r_;
+};
+
+// ---------------------------------------------------------------------------
+// Construction / run loop
+// ---------------------------------------------------------------------------
+
+Engine::Engine(RunOptions options) : opts_(std::move(options)) {
+  DAMPI_CHECK(opts_.nprocs > 0);
+  ranks_.reserve(static_cast<std::size_t>(opts_.nprocs));
+  for (int i = 0; i < opts_.nprocs; ++i) {
+    ranks_.push_back(std::make_unique<PerRank>());
+  }
+  comms_.init(opts_.nprocs);
+  policy_ = make_policy(opts_.policy, opts_.policy_seed);
+  stats_.init(opts_.nprocs);
+}
+
+Engine::~Engine() = default;
+
+RunReport Engine::run(const ProgramFn& program) {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(opts_.nprocs));
+  for (Rank r = 0; r < opts_.nprocs; ++r) {
+    threads.emplace_back([this, r, &program] { rank_thread_main(r, program); });
+  }
+  for (auto& t : threads) t.join();
+
+  RunReport report;
+  report.completed = !aborted_ && !deadlocked_;
+  report.deadlocked = deadlocked_;
+  report.errors = errors_;
+  report.deadlock_detail = deadlock_detail_;
+  for (const auto& pr_ptr : ranks_) {
+    report.vtime_us = std::max(report.vtime_us, pr_ptr->vtime);
+  }
+  report.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  report.stats = stats_;
+  report.messages_sent = messages_sent_;
+  if (report.completed) {
+    report.comm_leaks = comms_.leaked_user_comms();
+    report.request_leaks = request_leaks_;
+  }
+  return report;
+}
+
+void Engine::rank_thread_main(Rank r, const ProgramFn& program) {
+  log::set_thread_rank(r);
+  PerRank& me = pr(r);
+  if (opts_.tools.make_stack) {
+    me.tools = opts_.tools.make_stack(r, opts_.nprocs);
+  }
+  me.ctx = std::make_unique<ToolCtxImpl>(*this, r);
+
+  bool finished_normally = false;
+  try {
+    hooks_init(r);
+    Proc proc(*this, r);
+    program(proc);
+    hooks_finalize(r);
+    finished_normally = true;
+  } catch (const AbortRun&) {
+    // Another rank failed or a deadlock was declared; unwind quietly.
+  } catch (const ProgramFailure&) {
+    // Error already recorded by throw_program_error / api_fail.
+  } catch (const InternalError& e) {
+    std::unique_lock<std::mutex> lk(mu_);
+    errors_.push_back({r, std::string("tool internal error: ") + e.what()});
+    abort_all_locked();
+  } catch (const std::exception& e) {
+    std::unique_lock<std::mutex> lk(mu_);
+    errors_.push_back({r, std::string("uncaught exception: ") + e.what()});
+    abort_all_locked();
+  }
+
+  std::unique_lock<std::mutex> lk(mu_);
+  me.finished = true;
+  ++finished_count_;
+  if (finished_normally && !aborted_ && !deadlocked_) {
+    for (const auto& [id, rec] : me.reqs) {
+      if (!rec->tool_internal) ++request_leaks_;
+    }
+  }
+  if (blocked_count_ > 0) maybe_declare_deadlock(r);
+}
+
+// ---------------------------------------------------------------------------
+// Blocking / abort machinery
+// ---------------------------------------------------------------------------
+
+template <typename Pred>
+void Engine::blocking_wait(std::unique_lock<std::mutex>& lk, Rank r,
+                           BlockKind kind, std::string desc, Pred pred) {
+  if (pred()) return;
+  check_abort(lk);
+  PerRank& me = pr(r);
+  me.blocked = true;
+  me.block_kind = kind;
+  me.block_desc = std::move(desc);
+  me.block_pred = pred;
+  ++blocked_count_;
+  maybe_declare_deadlock(r);
+  me.cv.wait(lk, [&] { return pred() || aborted_ || deadlocked_; });
+  --blocked_count_;
+  me.blocked = false;
+  me.block_kind = BlockKind::kNone;
+  me.block_pred = nullptr;
+  if (aborted_ || deadlocked_) {
+    lk.unlock();
+    throw AbortRun{};
+  }
+}
+
+void Engine::maybe_declare_deadlock(Rank) {
+  if (blocked_count_ + finished_count_ != opts_.nprocs || aborted_ ||
+      deadlocked_) {
+    return;
+  }
+  // A rank whose wake condition already holds is merely late to wake, not
+  // stuck; with eager matching no spontaneous events exist, so "all
+  // blocked with no satisfied predicate" is an exact deadlock.
+  for (const auto& p : ranks_) {
+    if (p->blocked && p->block_pred && p->block_pred()) return;
+  }
+  declare_deadlock_locked();
+}
+
+void Engine::declare_deadlock_locked() {
+  deadlocked_ = true;
+  std::string detail;
+  for (Rank r = 0; r < opts_.nprocs; ++r) {
+    const PerRank& p = pr(r);
+    if (p.blocked) {
+      detail += strfmt("rank %d blocked in %s\n", r, p.block_desc.c_str());
+    }
+  }
+  deadlock_detail_ = detail;
+  for (auto& p : ranks_) p->cv.notify_all();
+}
+
+void Engine::abort_all_locked() {
+  aborted_ = true;
+  for (auto& p : ranks_) p->cv.notify_all();
+}
+
+void Engine::throw_program_error(std::unique_lock<std::mutex>& lk, Rank r,
+                                 const std::string& message) {
+  errors_.push_back({r, message});
+  abort_all_locked();
+  lk.unlock();
+  throw ProgramFailure{message};
+}
+
+void Engine::check_abort(std::unique_lock<std::mutex>& lk) {
+  if (aborted_ || deadlocked_) {
+    lk.unlock();
+    throw AbortRun{};
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Matching engine primitives (lock held)
+// ---------------------------------------------------------------------------
+
+std::uint64_t& Engine::seq_counter(Rank src, Rank dst, CommId comm) {
+  // Pack the triple; each component is comfortably below 2^20.
+  const std::uint64_t key = (static_cast<std::uint64_t>(src) << 40) |
+                            (static_cast<std::uint64_t>(dst) << 20) |
+                            static_cast<std::uint64_t>(comm);
+  return seq_counters_[key];
+}
+
+RequestId Engine::do_isend(std::unique_lock<std::mutex>&, Rank r,
+                           Rank dst_world, Tag tag, CommId comm, Bytes payload,
+                           bool tool_internal, bool synchronous,
+                           SendInfo* info) {
+  PerRank& me = pr(r);
+  me.vtime += opts_.cost.send_overhead_us +
+              opts_.cost.send_per_byte_us *
+                  static_cast<double>(payload.size());
+
+  Envelope env;
+  env.src_world = r;
+  env.dst_world = dst_world;
+  env.tag = tag;
+  env.comm = comm;
+  env.seq = seq_counter(r, dst_world, comm)++;
+  env.msg_id = next_msg_id_++;
+  env.arrival_vtime =
+      me.vtime + opts_.cost.message_transit_us(payload.size());
+  env.payload = std::move(payload);
+  env.tool_internal = tool_internal;
+
+  if (tool_internal) {
+    ++stats_.tool_messages;
+  } else {
+    ++messages_sent_;
+  }
+  if (info != nullptr) {
+    info->seq = env.seq;
+    info->msg_id = env.msg_id;
+    info->dst_world = dst_world;
+  }
+
+  RequestId id = kNullRequest;
+  if (!tool_internal) {
+    // Eager sends complete immediately; synchronous sends only complete
+    // when matched (rendezvous). Either way the user must still consume
+    // the request (wait/test) — unconsumed send requests are leaks.
+    auto rec = std::make_unique<RequestRecord>();
+    rec->id = next_req_id_++;
+    rec->kind = ReqKind::kSend;
+    rec->owner_world = r;
+    rec->comm = comm;
+    rec->complete = !synchronous;
+    rec->post_vtime = me.vtime;
+    id = rec->id;
+    me.reqs.emplace(id, std::move(rec));
+    if (synchronous) {
+      env.sender_req = id;
+      env.sender_world = r;
+    }
+  }
+
+  match_arrival(dst_world, std::move(env));
+  return id;
+}
+
+bool Engine::match_arrival(Rank dst, Envelope&& env) {
+  PerRank& receiver = pr(dst);
+  for (auto it = receiver.posted_recvs.begin();
+       it != receiver.posted_recvs.end(); ++it) {
+    auto found = receiver.reqs.find(*it);
+    DAMPI_CHECK(found != receiver.reqs.end());
+    RequestRecord& rec = *found->second;
+    if (compatible(rec, env)) {
+      receiver.posted_recvs.erase(it);
+      complete_recv(dst, rec, std::move(env));
+      return true;
+    }
+  }
+  receiver.unexpected.push_back(std::move(env));
+  // A rank blocked in a probe may now have a matchable message.
+  receiver.cv.notify_all();
+  return false;
+}
+
+void Engine::complete_recv(Rank r, RequestRecord& rec, Envelope&& env) {
+  if (env.sender_req != kNullRequest) {
+    // Rendezvous: the matching receive releases the synchronous sender;
+    // the release (ack) reaches it one latency after the match.
+    PerRank& sender = pr(env.sender_world);
+    auto it = sender.reqs.find(env.sender_req);
+    if (it != sender.reqs.end()) {
+      it->second->complete = true;
+      it->second->complete_vtime =
+          std::max(pr(r).vtime, env.arrival_vtime) + opts_.cost.latency_us;
+      sender.cv.notify_all();
+    }
+  }
+  rec.complete = true;
+  rec.msg = std::move(env);
+  pr(r).cv.notify_all();
+}
+
+std::vector<MatchCandidate> Engine::wildcard_candidates(Rank r, Tag tag,
+                                                        CommId comm) const {
+  // One candidate per source: the earliest (arrival order == per-source
+  // send order) compatible message — MPI's non-overtaking rule restricts
+  // a wildcard receive to exactly these heads.
+  const PerRank& me = *ranks_[static_cast<std::size_t>(r)];
+  std::map<Rank, MatchCandidate> heads;
+  for (const Envelope& env : me.unexpected) {
+    if (!env_matches(env, kAnySource, tag, comm)) continue;
+    if (env.tool_internal) continue;
+    if (heads.count(env.src_world) != 0) continue;
+    heads[env.src_world] =
+        MatchCandidate{env.src_world, env.tag, env.seq, env.msg_id};
+  }
+  std::vector<MatchCandidate> out;
+  out.reserve(heads.size());
+  for (auto& [src, cand] : heads) out.push_back(cand);
+  return out;
+}
+
+const Envelope* Engine::find_specific(Rank r, Rank src_world, Tag tag,
+                                      CommId comm) const {
+  const PerRank& me = *ranks_[static_cast<std::size_t>(r)];
+  for (const Envelope& env : me.unexpected) {
+    if (env_matches(env, src_world, tag, comm)) return &env;
+  }
+  return nullptr;
+}
+
+Envelope Engine::take_unexpected(Rank r, std::uint64_t msg_id) {
+  PerRank& me = pr(r);
+  for (auto it = me.unexpected.begin(); it != me.unexpected.end(); ++it) {
+    if (it->msg_id == msg_id) {
+      Envelope env = std::move(*it);
+      me.unexpected.erase(it);
+      return env;
+    }
+  }
+  DAMPI_CHECK_MSG(false, "unexpected message vanished");
+  return {};
+}
+
+RequestId Engine::do_irecv(std::unique_lock<std::mutex>&, Rank r,
+                           Rank src_world, Tag tag, CommId comm,
+                           bool tool_internal) {
+  PerRank& me = pr(r);
+  auto rec = std::make_unique<RequestRecord>();
+  rec->id = next_req_id_++;
+  rec->kind = ReqKind::kRecv;
+  rec->owner_world = r;
+  rec->posted_src_world = src_world;
+  rec->posted_tag = tag;
+  rec->comm = comm;
+  rec->tool_internal = tool_internal;
+  rec->post_vtime = me.vtime;
+  const RequestId id = rec->id;
+  RequestRecord& rec_ref = *rec;
+  me.reqs.emplace(id, std::move(rec));
+
+  if (src_world == kAnySource) {
+    std::vector<MatchCandidate> cands = wildcard_candidates(r, tag, comm);
+    if (!cands.empty()) {
+      const std::size_t pick =
+          cands.size() == 1 ? 0 : policy_->choose(cands);
+      DAMPI_CHECK(pick < cands.size());
+      complete_recv(r, rec_ref, take_unexpected(r, cands[pick].msg_id));
+      return id;
+    }
+  } else {
+    const Envelope* env = find_specific(r, src_world, tag, comm);
+    if (env != nullptr) {
+      complete_recv(r, rec_ref, take_unexpected(r, env->msg_id));
+      return id;
+    }
+  }
+  me.posted_recvs.push_back(id);
+  return id;
+}
+
+void Engine::block_until_complete(std::unique_lock<std::mutex>& lk, Rank r,
+                                  RequestId req) {
+  PerRank& me = pr(r);
+  auto it = me.reqs.find(req);
+  DAMPI_CHECK(it != me.reqs.end());
+  RequestRecord* rec = it->second.get();
+  if (rec->complete) return;
+  const std::string desc =
+      rec->kind == ReqKind::kSend
+          ? strfmt("wait(ssend comm=%d)", rec->comm)
+          : strfmt("wait(recv src=%d tag=%d comm=%d)", rec->posted_src_world,
+                   rec->posted_tag, rec->comm);
+  blocking_wait(lk, r, BlockKind::kWait, desc, [rec] { return rec->complete; });
+}
+
+Status Engine::finish_request(std::unique_lock<std::mutex>& lk, Rank r,
+                              RequestId req, Bytes* out, bool run_hooks) {
+  PerRank& me = pr(r);
+  // Extract the record so hook-issued raw operations cannot invalidate it.
+  auto node = me.reqs.extract(req);
+  DAMPI_CHECK_MSG(!node.empty(), "request vanished during completion");
+  std::unique_ptr<RequestRecord> rec = std::move(node.mapped());
+  DAMPI_CHECK(rec->complete);
+
+  Status status;
+  // A synchronous send's completion waits for the remote match.
+  me.vtime = std::max(me.vtime, rec->complete_vtime);
+  if (rec->kind == ReqKind::kRecv) {
+    me.vtime = std::max(me.vtime, rec->msg.arrival_vtime) +
+               opts_.cost.recv_overhead_us;
+    status.source = comms_.to_rel(rec->comm, rec->msg.src_world);
+    status.tag = rec->msg.tag;
+    status.bytes = rec->msg.payload.size();
+    status.seq = rec->msg.seq;
+    status.msg_id = rec->msg.msg_id;
+  }
+
+  if (run_hooks) {
+    ReqCompletion completion;
+    completion.id = rec->id;
+    completion.kind = rec->kind;
+    completion.comm = rec->comm;
+    completion.posted_src = rec->kind == ReqKind::kRecv
+                                ? comms_.to_rel(rec->comm,
+                                                rec->posted_src_world)
+                                : kAnySource;
+    if (rec->posted_src_world == kAnySource) completion.posted_src = kAnySource;
+    completion.posted_tag = rec->posted_tag;
+    completion.src_world = rec->msg.src_world;
+    completion.tag = rec->msg.tag;
+    completion.seq = rec->msg.seq;
+    completion.msg_id = rec->msg.msg_id;
+    completion.status = status;
+    completion.payload = &rec->msg.payload;
+    lk.unlock();
+    hooks_post_wait(r, completion);
+    lk.lock();
+    status = completion.status;
+  }
+
+  if (out != nullptr && rec->kind == ReqKind::kRecv) {
+    *out = std::move(rec->msg.payload);
+  }
+  return status;
+}
+
+// ---------------------------------------------------------------------------
+// Proc-facing API
+// ---------------------------------------------------------------------------
+
+void Engine::validate_comm_member(std::unique_lock<std::mutex>& lk, Rank r,
+                                  CommId comm) {
+  if (!comms_.valid(comm)) {
+    throw_program_error(lk, r,
+                        strfmt("operation on invalid communicator %d", comm));
+  }
+  if (!comms_.get(comm).contains_world(r)) {
+    throw_program_error(
+        lk, r, strfmt("rank %d is not a member of communicator %d", r, comm));
+  }
+}
+
+RequestId Engine::api_isend(Rank r, Rank dst, Tag tag, Bytes payload,
+                            CommId comm, bool blocking, bool synchronous) {
+  SendCall call;
+  call.dst = dst;
+  call.tag = tag;
+  call.comm = comm;
+  call.payload = &payload;
+  call.blocking = blocking;
+  hooks_pre_isend(r, call);
+
+  std::unique_lock<std::mutex> lk(mu_);
+  check_abort(lk);
+  validate_comm_member(lk, r, call.comm);
+  if (call.tag < 0 || call.tag > kMaxUserTag) {
+    throw_program_error(lk, r, strfmt("invalid send tag %d", call.tag));
+  }
+  const int csize = comms_.get(call.comm).size();
+  if (call.dst < 0 || call.dst >= csize) {
+    throw_program_error(lk, r, strfmt("send to invalid rank %d", call.dst));
+  }
+  stats_.bump(OpCategory::kSendRecv, r);
+  pr(r).vtime += opts_.cost.local_op_us;
+  const Rank dst_world = comms_.to_world(call.comm, call.dst);
+  SendInfo info;
+  const RequestId id = do_isend(lk, r, dst_world, call.tag, call.comm,
+                                std::move(*call.payload), false, synchronous,
+                                &info);
+  lk.unlock();
+  hooks_post_isend(r, call, id, info);
+  return id;
+}
+
+RequestId Engine::api_irecv(Rank r, Rank src, Tag tag, CommId comm,
+                            bool blocking) {
+  RecvCall call;
+  call.src = src;
+  call.tag = tag;
+  call.comm = comm;
+  call.blocking = blocking;
+  hooks_pre_irecv(r, call);
+
+  std::unique_lock<std::mutex> lk(mu_);
+  check_abort(lk);
+  validate_comm_member(lk, r, call.comm);
+  if (call.tag < kAnyTag || call.tag > kMaxUserTag) {
+    throw_program_error(lk, r, strfmt("invalid recv tag %d", call.tag));
+  }
+  const int csize = comms_.get(call.comm).size();
+  if (call.src != kAnySource && (call.src < 0 || call.src >= csize)) {
+    throw_program_error(lk, r, strfmt("recv from invalid rank %d", call.src));
+  }
+  stats_.bump(OpCategory::kSendRecv, r);
+  pr(r).vtime += opts_.cost.local_op_us;
+  const Rank src_world = comms_.to_world(call.comm, call.src);
+  const RequestId id = do_irecv(lk, r, src_world, call.tag, call.comm, false);
+  lk.unlock();
+  hooks_post_irecv(r, call, id);
+  return id;
+}
+
+Status Engine::api_wait(Rank r, RequestId req, Bytes* out, bool count_stat) {
+  if (count_stat) hooks_pre_wait(r, req);
+
+  std::unique_lock<std::mutex> lk(mu_);
+  check_abort(lk);
+  if (pr(r).reqs.find(req) == pr(r).reqs.end()) {
+    throw_program_error(lk, r, "wait on invalid or consumed request");
+  }
+  if (count_stat) stats_.bump(OpCategory::kWait, r);
+  pr(r).vtime += opts_.cost.local_op_us;
+  block_until_complete(lk, r, req);
+  return finish_request(lk, r, req, out, /*run_hooks=*/true);
+}
+
+bool Engine::api_test(Rank r, RequestId req, Status* status, Bytes* out) {
+  hooks_pre_wait(r, req);
+
+  std::unique_lock<std::mutex> lk(mu_);
+  check_abort(lk);
+  auto it = pr(r).reqs.find(req);
+  if (it == pr(r).reqs.end()) {
+    throw_program_error(lk, r, "test on invalid or consumed request");
+  }
+  stats_.bump(OpCategory::kWait, r);
+  pr(r).vtime += opts_.cost.local_op_us;
+  if (!it->second->complete) return false;
+  Status st = finish_request(lk, r, req, out, /*run_hooks=*/true);
+  if (status != nullptr) *status = st;
+  return true;
+}
+
+void Engine::api_waitall(Rank r, std::span<RequestId> reqs) {
+  if (!reqs.empty()) hooks_pre_wait(r, reqs[0]);
+  bool first = true;
+  for (RequestId& req : reqs) {
+    if (req == kNullRequest) continue;
+    std::unique_lock<std::mutex> lk(mu_);
+    check_abort(lk);
+    if (pr(r).reqs.find(req) == pr(r).reqs.end()) {
+      throw_program_error(lk, r, "waitall on invalid or consumed request");
+    }
+    if (first) {
+      stats_.bump(OpCategory::kWait, r);
+      pr(r).vtime += opts_.cost.local_op_us;
+      first = false;
+    }
+    block_until_complete(lk, r, req);
+    finish_request(lk, r, req, nullptr, /*run_hooks=*/true);
+    req = kNullRequest;
+  }
+}
+
+std::size_t Engine::api_waitany(Rank r, std::span<RequestId> reqs,
+                                Status* status, Bytes* out) {
+  if (!reqs.empty()) hooks_pre_wait(r, reqs[0]);
+
+  std::unique_lock<std::mutex> lk(mu_);
+  check_abort(lk);
+  stats_.bump(OpCategory::kWait, r);
+  pr(r).vtime += opts_.cost.local_op_us;
+
+  std::vector<RequestRecord*> recs(reqs.size(), nullptr);
+  bool any_live = false;
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    if (reqs[i] == kNullRequest) continue;
+    auto it = pr(r).reqs.find(reqs[i]);
+    if (it == pr(r).reqs.end()) {
+      throw_program_error(lk, r, "waitany on invalid or consumed request");
+    }
+    recs[i] = it->second.get();
+    any_live = true;
+  }
+  if (!any_live) {
+    throw_program_error(lk, r, "waitany with no live requests");
+  }
+  auto ready_index = [&recs]() -> std::size_t {
+    for (std::size_t i = 0; i < recs.size(); ++i) {
+      if (recs[i] != nullptr && recs[i]->complete) return i;
+    }
+    return recs.size();
+  };
+  blocking_wait(lk, r, BlockKind::kWait, "waitany",
+                [&] { return ready_index() < recs.size(); });
+  const std::size_t idx = ready_index();
+  DAMPI_CHECK(idx < recs.size());
+  Status st = finish_request(lk, r, reqs[idx], out, /*run_hooks=*/true);
+  if (status != nullptr) *status = st;
+  reqs[idx] = kNullRequest;
+  return idx;
+}
+
+bool Engine::api_testall(Rank r, std::span<RequestId> reqs) {
+  if (!reqs.empty()) hooks_pre_wait(r, reqs[0]);
+  std::unique_lock<std::mutex> lk(mu_);
+  check_abort(lk);
+  stats_.bump(OpCategory::kWait, r);
+  pr(r).vtime += opts_.cost.local_op_us;
+  for (const RequestId req : reqs) {
+    if (req == kNullRequest) continue;
+    auto it = pr(r).reqs.find(req);
+    if (it == pr(r).reqs.end()) {
+      throw_program_error(lk, r, "testall on invalid or consumed request");
+    }
+    if (!it->second->complete) return false;  // MPI: consume all or none
+  }
+  for (RequestId& req : reqs) {
+    if (req == kNullRequest) continue;
+    finish_request(lk, r, req, nullptr, /*run_hooks=*/true);
+    req = kNullRequest;
+  }
+  return true;
+}
+
+std::size_t Engine::api_testany(Rank r, std::span<RequestId> reqs,
+                                Status* status, Bytes* out) {
+  if (!reqs.empty()) hooks_pre_wait(r, reqs[0]);
+  std::unique_lock<std::mutex> lk(mu_);
+  check_abort(lk);
+  stats_.bump(OpCategory::kWait, r);
+  pr(r).vtime += opts_.cost.local_op_us;
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    if (reqs[i] == kNullRequest) continue;
+    auto it = pr(r).reqs.find(reqs[i]);
+    if (it == pr(r).reqs.end()) {
+      throw_program_error(lk, r, "testany on invalid or consumed request");
+    }
+    if (it->second->complete) {
+      Status st = finish_request(lk, r, reqs[i], out, /*run_hooks=*/true);
+      if (status != nullptr) *status = st;
+      reqs[i] = kNullRequest;
+      return i;
+    }
+  }
+  return reqs.size();
+}
+
+Status Engine::api_probe(Rank r, Rank src, Tag tag, CommId comm, bool* flag) {
+  ProbeCall call;
+  call.src = src;
+  call.tag = tag;
+  call.comm = comm;
+  call.blocking = (flag == nullptr);
+  hooks_pre_probe(r, call);
+
+  std::unique_lock<std::mutex> lk(mu_);
+  check_abort(lk);
+  validate_comm_member(lk, r, call.comm);
+  stats_.bump(OpCategory::kSendRecv, r);
+  pr(r).vtime += opts_.cost.local_op_us;
+  const Rank src_world = comms_.to_world(call.comm, call.src);
+
+  auto exists = [&]() -> bool {
+    if (src_world == kAnySource) {
+      return !wildcard_candidates(r, call.tag, call.comm).empty();
+    }
+    return find_specific(r, src_world, call.tag, call.comm) != nullptr;
+  };
+
+  bool found = exists();
+  if (!found && call.blocking) {
+    const std::string desc =
+        strfmt("probe(src=%d tag=%d comm=%d)", call.src, call.tag, call.comm);
+    blocking_wait(lk, r, BlockKind::kProbe, desc, exists);
+    found = true;
+  }
+
+  Status status;
+  if (found) {
+    const Envelope* env = nullptr;
+    if (src_world == kAnySource) {
+      std::vector<MatchCandidate> cands =
+          wildcard_candidates(r, call.tag, call.comm);
+      DAMPI_CHECK(!cands.empty());
+      const std::size_t pick =
+          cands.size() == 1 ? 0 : policy_->choose(cands);
+      for (const Envelope& e : pr(r).unexpected) {
+        if (e.msg_id == cands[pick].msg_id) {
+          env = &e;
+          break;
+        }
+      }
+    } else {
+      env = find_specific(r, src_world, call.tag, call.comm);
+    }
+    DAMPI_CHECK(env != nullptr);
+    status.source = comms_.to_rel(call.comm, env->src_world);
+    status.tag = env->tag;
+    status.bytes = env->payload.size();
+    status.seq = env->seq;
+    status.msg_id = env->msg_id;
+    pr(r).vtime = std::max(pr(r).vtime, env->arrival_vtime) +
+                  opts_.cost.local_op_us;
+  }
+  lk.unlock();
+  hooks_post_probe(r, call, found, status);
+  if (flag != nullptr) *flag = found;
+  return status;
+}
+
+// ---------------------------------------------------------------------------
+// Collectives
+// ---------------------------------------------------------------------------
+
+Bytes Engine::apply_reduce(std::unique_lock<std::mutex>& lk, Rank r,
+                           const CollSlot& slot, const CommRecord& comm_rec) {
+  const std::size_t n = slot.data.empty() ? 0 : slot.data[0].size();
+  for (const Bytes& b : slot.data) {
+    if (b.size() != n) {
+      throw_program_error(lk, r, "reduce contributions differ in length");
+    }
+  }
+  if (n % 8 != 0) {
+    throw_program_error(lk, r, "reduce contribution not a multiple of 8");
+  }
+  const std::size_t words = n / 8;
+  const bool is_f64 = slot.op == ReduceOp::kSumF64 ||
+                      slot.op == ReduceOp::kMaxF64 ||
+                      slot.op == ReduceOp::kMinF64;
+  Bytes out = slot.data[0];
+  for (int m = 1; m < comm_rec.size(); ++m) {
+    const Bytes& in = slot.data[static_cast<std::size_t>(m)];
+    for (std::size_t w = 0; w < words; ++w) {
+      if (is_f64) {
+        double a, b;
+        std::memcpy(&a, out.data() + w * 8, 8);
+        std::memcpy(&b, in.data() + w * 8, 8);
+        switch (slot.op) {
+          case ReduceOp::kSumF64: a += b; break;
+          case ReduceOp::kMaxF64: a = std::max(a, b); break;
+          case ReduceOp::kMinF64: a = std::min(a, b); break;
+          default: break;
+        }
+        std::memcpy(out.data() + w * 8, &a, 8);
+      } else {
+        std::uint64_t a, b;
+        std::memcpy(&a, out.data() + w * 8, 8);
+        std::memcpy(&b, in.data() + w * 8, 8);
+        switch (slot.op) {
+          case ReduceOp::kSumU64: a += b; break;
+          case ReduceOp::kMaxU64: a = std::max(a, b); break;
+          case ReduceOp::kMinU64: a = std::min(a, b); break;
+          default: break;
+        }
+        std::memcpy(out.data() + w * 8, &a, 8);
+      }
+    }
+  }
+  return out;
+}
+
+void Engine::compute_slot_results(CollSlot& slot, const CommRecord& comm_rec,
+                                  CollKind kind) {
+  if (slot.split_done) return;
+  slot.split_done = true;
+  if (kind == CollKind::kCommDup) {
+    slot.dup_comm = comms_.create(comm_rec.members, /*tool_internal=*/false);
+    return;
+  }
+  // comm_split: group members by color, order by (key, world rank).
+  slot.comm_of_member.assign(static_cast<std::size_t>(comm_rec.size()),
+                             kCommNull);
+  std::map<int, std::vector<std::pair<int, Rank>>> groups;
+  for (int m = 0; m < comm_rec.size(); ++m) {
+    const int color = slot.colors[static_cast<std::size_t>(m)];
+    if (color < 0) continue;  // MPI_UNDEFINED
+    groups[color].push_back({slot.keys[static_cast<std::size_t>(m)],
+                             comm_rec.members[static_cast<std::size_t>(m)]});
+  }
+  for (auto& [color, entries] : groups) {
+    std::sort(entries.begin(), entries.end());
+    std::vector<Rank> members;
+    members.reserve(entries.size());
+    for (auto& [key, world] : entries) members.push_back(world);
+    const CommId id = comms_.create(members, /*tool_internal=*/false);
+    for (int m = 0; m < comm_rec.size(); ++m) {
+      if (slot.colors[static_cast<std::size_t>(m)] == color) {
+        slot.comm_of_member[static_cast<std::size_t>(m)] = id;
+      }
+    }
+  }
+}
+
+CollUserResult Engine::collective_impl(Rank r, CollKind kind, CommId comm,
+                                       Rank root_rel, CollUserData data,
+                                       Bytes pb_contribution,
+                                       bool tool_internal,
+                                       CollResult* tool_result) {
+  std::unique_lock<std::mutex> lk(mu_);
+  check_abort(lk);
+  validate_comm_member(lk, r, comm);
+  // Copy what we need: the comm table may grow (reallocate) while we wait.
+  const CommRecord comm_rec = comms_.get(comm);
+  const int size = comm_rec.size();
+  const Rank cr = comm_rec.world_to_comm[static_cast<std::size_t>(r)];
+  const bool rooted = root_to_leaves(kind) || leaves_to_root(kind);
+  if (rooted && (root_rel < 0 || root_rel >= size)) {
+    throw_program_error(lk, r, strfmt("invalid collective root %d", root_rel));
+  }
+  const Rank root_world = rooted ? comm_rec.members[static_cast<std::size_t>(
+                                       root_rel)]
+                                 : -1;
+
+  if (!tool_internal) {
+    stats_.bump(OpCategory::kCollective, r);
+  }
+  pr(r).vtime += opts_.cost.local_op_us;
+
+  const std::uint64_t gen = pr(r).coll_gen[comm]++;
+  CollSlot& slot = coll_slots_[{comm, gen}];
+  if (slot.arrived == 0) {
+    slot.kind = kind;
+    slot.root_world = root_world;
+    slot.pb.resize(static_cast<std::size_t>(size));
+    slot.data.resize(static_cast<std::size_t>(size));
+    slot.multi.resize(static_cast<std::size_t>(size));
+    slot.colors.assign(static_cast<std::size_t>(size), 0);
+    slot.keys.assign(static_cast<std::size_t>(size), 0);
+  } else {
+    if (slot.kind != kind || slot.root_world != root_world) {
+      throw_program_error(
+          lk, r,
+          strfmt("collective mismatch on comm %d: rank %d called %s but the "
+                 "operation in flight is %s",
+                 comm, r, coll_kind_name(kind), coll_kind_name(slot.kind)));
+    }
+  }
+  if (kind == CollKind::kReduce || kind == CollKind::kAllreduce) {
+    if (slot.op_set && slot.op != data.op) {
+      throw_program_error(lk, r, "mismatched reduce operators");
+    }
+    slot.op = data.op;
+    slot.op_set = true;
+  }
+  if (kind == CollKind::kScatter && cr == root_rel &&
+      static_cast<int>(data.multi.size()) != size) {
+    throw_program_error(lk, r, "scatter requires one slice per member");
+  }
+  if (kind == CollKind::kAlltoall &&
+      static_cast<int>(data.multi.size()) != size) {
+    throw_program_error(lk, r, "alltoall requires one slice per member");
+  }
+
+  slot.pb[static_cast<std::size_t>(cr)] = std::move(pb_contribution);
+  slot.data[static_cast<std::size_t>(cr)] = std::move(data.single);
+  slot.multi[static_cast<std::size_t>(cr)] = std::move(data.multi);
+  slot.colors[static_cast<std::size_t>(cr)] = data.color;
+  slot.keys[static_cast<std::size_t>(cr)] = data.key;
+  ++slot.arrived;
+  slot.max_arrival_vtime = std::max(slot.max_arrival_vtime, pr(r).vtime);
+  if (rooted && cr == root_rel) {
+    slot.root_arrived = true;
+    slot.root_arrival_vtime = pr(r).vtime;
+  }
+
+  // Wake members whose completion predicate may have flipped.
+  const bool all_arrived = slot.arrived == size;
+  if (is_all_style(kind) && all_arrived) {
+    for (Rank w : comm_rec.members) pr(w).cv.notify_all();
+  } else if (root_to_leaves(kind) && slot.root_arrived && cr == root_rel) {
+    for (Rank w : comm_rec.members) pr(w).cv.notify_all();
+  } else if (leaves_to_root(kind) && all_arrived) {
+    pr(root_world).cv.notify_all();
+  }
+
+  // Completion predicate for this rank.
+  auto my_pred = [&slot, kind, cr, root_rel, size]() -> bool {
+    if (is_all_style(kind)) return slot.arrived == size;
+    if (root_to_leaves(kind)) return cr == root_rel || slot.root_arrived;
+    return cr != root_rel || slot.arrived == size;  // leaves_to_root
+  };
+  if (!my_pred()) {
+    const std::string desc = strfmt("collective %s comm=%d gen=%llu",
+                                    coll_kind_name(kind), comm,
+                                    static_cast<unsigned long long>(gen));
+    blocking_wait(lk, r, BlockKind::kColl, desc, my_pred);
+  }
+
+  // Completion virtual time.
+  const double coll_cost = opts_.cost.collective_us(size);
+  double done_vtime;
+  if (is_all_style(kind)) {
+    done_vtime = slot.max_arrival_vtime + coll_cost;
+  } else if (root_to_leaves(kind)) {
+    done_vtime = cr == root_rel
+                     ? pr(r).vtime + coll_cost
+                     : std::max(pr(r).vtime,
+                                slot.root_arrival_vtime + coll_cost);
+  } else {  // leaves_to_root
+    done_vtime = cr == root_rel ? slot.max_arrival_vtime + coll_cost
+                                : pr(r).vtime + coll_cost;
+  }
+  pr(r).vtime = std::max(pr(r).vtime, done_vtime);
+
+  // Extract user-visible results.
+  CollUserResult result;
+  switch (kind) {
+    case CollKind::kBarrier:
+      break;
+    case CollKind::kBcast:
+      result.single = slot.data[static_cast<std::size_t>(root_rel)];
+      break;
+    case CollKind::kReduce:
+      if (cr == root_rel) {
+        if (!slot.reduced_done) {
+          slot.reduced = apply_reduce(lk, r, slot, comm_rec);
+          slot.reduced_done = true;
+        }
+        result.single = slot.reduced;
+      }
+      break;
+    case CollKind::kAllreduce:
+      if (!slot.reduced_done) {
+        slot.reduced = apply_reduce(lk, r, slot, comm_rec);
+        slot.reduced_done = true;
+      }
+      result.single = slot.reduced;
+      break;
+    case CollKind::kGather:
+      if (cr == root_rel) result.multi = slot.data;
+      break;
+    case CollKind::kScatter: {
+      const auto& slices = slot.multi[static_cast<std::size_t>(root_rel)];
+      result.single = slices[static_cast<std::size_t>(cr)];
+      break;
+    }
+    case CollKind::kAllgather:
+      result.multi = slot.data;
+      break;
+    case CollKind::kAlltoall: {
+      result.multi.resize(static_cast<std::size_t>(size));
+      for (int m = 0; m < size; ++m) {
+        const auto& their = slot.multi[static_cast<std::size_t>(m)];
+        if (static_cast<int>(their.size()) == size) {
+          result.multi[static_cast<std::size_t>(m)] =
+              their[static_cast<std::size_t>(cr)];
+        }
+      }
+      break;
+    }
+    case CollKind::kCommFree:
+      // All members have arrived (all-style); release the communicator
+      // exactly once.
+      if (!slot.split_done) {
+        slot.split_done = true;
+        comms_.free(comm);
+      }
+      break;
+    case CollKind::kCommDup:
+    case CollKind::kCommSplit: {
+      compute_slot_results(slot, comm_rec, kind);
+      if (kind == CollKind::kCommDup) {
+        result.new_comm = slot.dup_comm;
+        if (tool_internal) {
+          // Tool shadow communicators are exempt from leak accounting.
+          // compute_slot_results created it as a user comm for the first
+          // departer; flip the flag exactly once.
+          // (All participants of a raw_comm_dup are tool-internal calls.)
+        }
+      } else {
+        result.new_comm = slot.comm_of_member[static_cast<std::size_t>(cr)];
+      }
+      break;
+    }
+  }
+
+  // Piggyback routing for tool layers.
+  if (tool_result != nullptr) {
+    tool_result->new_comm = result.new_comm;
+    auto any_pb = [&slot]() {
+      for (const Bytes& b : slot.pb) {
+        if (!b.empty()) return true;
+      }
+      return false;
+    };
+    if (is_all_style(kind) || (leaves_to_root(kind) && cr == root_rel)) {
+      if (!slot.merged_pb_done && any_pb()) {
+        DAMPI_CHECK_MSG(static_cast<bool>(opts_.tools.coll_merge),
+                        "collective piggyback requires a merge function");
+        std::vector<Bytes> present;
+        for (const Bytes& b : slot.pb) {
+          if (!b.empty()) present.push_back(b);
+        }
+        slot.merged_pb = opts_.tools.coll_merge(present);
+        slot.merged_pb_done = true;
+      }
+      if (slot.merged_pb_done) {
+        tool_result->has_incoming = true;
+        tool_result->incoming = slot.merged_pb;
+      }
+    } else if (root_to_leaves(kind) && cr != root_rel) {
+      const Bytes& root_pb = slot.pb[static_cast<std::size_t>(root_rel)];
+      if (!root_pb.empty()) {
+        tool_result->has_incoming = true;
+        tool_result->incoming = root_pb;
+      }
+    }
+  }
+
+  ++slot.departed;
+  if (slot.departed == size) {
+    coll_slots_.erase({comm, gen});
+  }
+  return result;
+}
+
+CollUserResult Engine::api_collective(Rank r, CollKind kind, CommId comm,
+                                      Rank root, CollUserData data) {
+  CollCall call;
+  call.kind = kind;
+  call.comm = comm;
+  call.root = root;
+  hooks_pre_collective(r, call);
+  CollResult tool_result;
+  CollUserResult result =
+      collective_impl(r, kind, call.comm, call.root, std::move(data),
+                      std::move(call.pb_contribution), false, &tool_result);
+  hooks_post_collective(r, call, tool_result);
+  return result;
+}
+
+void Engine::api_comm_free(Rank r, CommId comm) {
+  // MPI_Comm_free is collective over the communicator: synchronize all
+  // members (all-style), then release it exactly once.
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    check_abort(lk);
+    if (comm == kCommWorld) {
+      throw_program_error(lk, r, "cannot free MPI_COMM_WORLD");
+    }
+    if (!comms_.valid(comm)) {
+      throw_program_error(lk, r,
+                          strfmt("freeing invalid communicator %d", comm));
+    }
+  }
+  api_collective(r, CollKind::kCommFree, comm, 0, {});
+}
+
+void Engine::api_pcontrol(Rank r, int level, const std::string& what) {
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    check_abort(lk);
+    stats_.bump(OpCategory::kOther, r);
+    pr(r).vtime += opts_.cost.local_op_us;
+  }
+  hooks_pcontrol(r, level, what);
+}
+
+void Engine::api_compute(Rank r, double us) {
+  std::unique_lock<std::mutex> lk(mu_);
+  check_abort(lk);
+  pr(r).vtime += us;
+}
+
+void Engine::api_fail(Rank r, const std::string& message) {
+  std::unique_lock<std::mutex> lk(mu_);
+  errors_.push_back({r, message});
+  abort_all_locked();
+  lk.unlock();
+  throw ProgramFailure{message};
+}
+
+// ---------------------------------------------------------------------------
+// Translation / introspection
+// ---------------------------------------------------------------------------
+
+int Engine::comm_size_of(CommId comm) {
+  std::unique_lock<std::mutex> lk(mu_);
+  return comms_.get(comm).size();
+}
+
+Rank Engine::comm_rank_of(CommId comm, Rank world) {
+  std::unique_lock<std::mutex> lk(mu_);
+  return comms_.to_rel(comm, world);
+}
+
+Rank Engine::to_world(CommId comm, Rank rel) {
+  std::unique_lock<std::mutex> lk(mu_);
+  return comms_.to_world(comm, rel);
+}
+
+Rank Engine::to_rel(CommId comm, Rank world) {
+  std::unique_lock<std::mutex> lk(mu_);
+  return comms_.to_rel(comm, world);
+}
+
+// ---------------------------------------------------------------------------
+// Raw (tool) operations
+// ---------------------------------------------------------------------------
+
+RequestId Engine::raw_isend(Rank r, Rank dst, Tag tag, CommId comm,
+                            Bytes payload) {
+  std::unique_lock<std::mutex> lk(mu_);
+  check_abort(lk);
+  const Rank dst_world = comms_.to_world(comm, dst);
+  // Tool sends are eager and auto-consumed: piggyback senders never wait
+  // on them (the paper's pb sends are waited trivially in MPI_Wait).
+  do_isend(lk, r, dst_world, tag, comm, std::move(payload), true,
+           /*synchronous=*/false, nullptr);
+  return kNullRequest;
+}
+
+RequestId Engine::raw_irecv(Rank r, Rank src, Tag tag, CommId comm) {
+  std::unique_lock<std::mutex> lk(mu_);
+  check_abort(lk);
+  const Rank src_world = comms_.to_world(comm, src);
+  return do_irecv(lk, r, src_world, tag, comm, true);
+}
+
+Status Engine::raw_wait(Rank r, RequestId req, Bytes* out) {
+  std::unique_lock<std::mutex> lk(mu_);
+  check_abort(lk);
+  DAMPI_CHECK_MSG(pr(r).reqs.find(req) != pr(r).reqs.end(),
+                  "raw_wait on invalid request");
+  block_until_complete(lk, r, req);
+  return finish_request(lk, r, req, out, /*run_hooks=*/false);
+}
+
+Status Engine::raw_recv(Rank r, Rank src, Tag tag, CommId comm, Bytes* out) {
+  const RequestId req = raw_irecv(r, src, tag, comm);
+  return raw_wait(r, req, out);
+}
+
+bool Engine::raw_iprobe(Rank r, Rank src, Tag tag, CommId comm,
+                        Status* status) {
+  std::unique_lock<std::mutex> lk(mu_);
+  check_abort(lk);
+  const Rank src_world = comms_.to_world(comm, src);
+  const Envelope* env = nullptr;
+  if (src_world == kAnySource) {
+    std::vector<MatchCandidate> cands = wildcard_candidates(r, tag, comm);
+    if (!cands.empty()) {
+      // Deterministic head (lowest source) — tool drains need no policy.
+      for (const Envelope& e : pr(r).unexpected) {
+        if (e.msg_id == cands.front().msg_id) {
+          env = &e;
+          break;
+        }
+      }
+    }
+  } else {
+    env = find_specific(r, src_world, tag, comm);
+  }
+  if (env == nullptr) return false;
+  if (status != nullptr) {
+    status->source = comms_.to_rel(comm, env->src_world);
+    status->tag = env->tag;
+    status->bytes = env->payload.size();
+    status->seq = env->seq;
+    status->msg_id = env->msg_id;
+  }
+  return true;
+}
+
+void Engine::raw_barrier(Rank r, CommId comm) {
+  collective_impl(r, CollKind::kBarrier, comm, 0, {}, {},
+                  /*tool_internal=*/true, nullptr);
+}
+
+CommId Engine::raw_comm_dup(Rank r, CommId comm) {
+  CollUserResult result = collective_impl(r, CollKind::kCommDup, comm, 0, {},
+                                          {}, /*tool_internal=*/true, nullptr);
+  // Mark the product tool-internal (exempt from leak accounting). Every
+  // participant executes this; the flag write is idempotent.
+  std::unique_lock<std::mutex> lk(mu_);
+  comms_.mark_tool_internal(result.new_comm);
+  return result.new_comm;
+}
+
+void Engine::add_cost(Rank r, double us) {
+  std::unique_lock<std::mutex> lk(mu_);
+  pr(r).vtime += us;
+}
+
+double Engine::vtime_of(Rank r) {
+  std::unique_lock<std::mutex> lk(mu_);
+  return pr(r).vtime;
+}
+
+// ---------------------------------------------------------------------------
+// Tool hook dispatch (lock not held)
+// ---------------------------------------------------------------------------
+
+void Engine::hooks_init(Rank r) {
+  auto& tools = pr(r).tools;
+  for (auto& t : tools) t->on_init(*pr(r).ctx);
+}
+
+void Engine::hooks_finalize(Rank r) {
+  auto& tools = pr(r).tools;
+  for (auto it = tools.rbegin(); it != tools.rend(); ++it) {
+    (*it)->on_finalize(*pr(r).ctx);
+  }
+}
+
+void Engine::hooks_pre_isend(Rank r, SendCall& call) {
+  for (auto& t : pr(r).tools) t->pre_isend(*pr(r).ctx, call);
+}
+
+void Engine::hooks_post_isend(Rank r, const SendCall& call, RequestId id,
+                              const SendInfo& info) {
+  auto& tools = pr(r).tools;
+  for (auto it = tools.rbegin(); it != tools.rend(); ++it) {
+    (*it)->post_isend(*pr(r).ctx, call, id, info);
+  }
+}
+
+void Engine::hooks_pre_irecv(Rank r, RecvCall& call) {
+  for (auto& t : pr(r).tools) t->pre_irecv(*pr(r).ctx, call);
+}
+
+void Engine::hooks_post_irecv(Rank r, const RecvCall& call, RequestId id) {
+  auto& tools = pr(r).tools;
+  for (auto it = tools.rbegin(); it != tools.rend(); ++it) {
+    (*it)->post_irecv(*pr(r).ctx, call, id);
+  }
+}
+
+void Engine::hooks_pre_wait(Rank r, RequestId id) {
+  for (auto& t : pr(r).tools) t->pre_wait(*pr(r).ctx, id);
+}
+
+void Engine::hooks_post_wait(Rank r, ReqCompletion& completion) {
+  auto& tools = pr(r).tools;
+  for (auto it = tools.rbegin(); it != tools.rend(); ++it) {
+    (*it)->post_wait(*pr(r).ctx, completion);
+  }
+}
+
+void Engine::hooks_pre_probe(Rank r, ProbeCall& call) {
+  for (auto& t : pr(r).tools) t->pre_probe(*pr(r).ctx, call);
+}
+
+void Engine::hooks_post_probe(Rank r, const ProbeCall& call, bool flag,
+                              Status& status) {
+  auto& tools = pr(r).tools;
+  for (auto it = tools.rbegin(); it != tools.rend(); ++it) {
+    (*it)->post_probe(*pr(r).ctx, call, flag, status);
+  }
+}
+
+void Engine::hooks_pre_collective(Rank r, CollCall& call) {
+  for (auto& t : pr(r).tools) t->pre_collective(*pr(r).ctx, call);
+}
+
+void Engine::hooks_post_collective(Rank r, const CollCall& call,
+                                   const CollResult& result) {
+  auto& tools = pr(r).tools;
+  for (auto it = tools.rbegin(); it != tools.rend(); ++it) {
+    (*it)->post_collective(*pr(r).ctx, call, result);
+  }
+}
+
+void Engine::hooks_pcontrol(Rank r, int level, const std::string& what) {
+  for (auto& t : pr(r).tools) t->on_pcontrol(*pr(r).ctx, level, what);
+}
+
+// ---------------------------------------------------------------------------
+// Runtime wrapper
+// ---------------------------------------------------------------------------
+
+Runtime::Runtime(RunOptions options)
+    : engine_(std::make_unique<Engine>(std::move(options))) {}
+
+Runtime::~Runtime() = default;
+
+RunReport Runtime::run(const ProgramFn& program) {
+  return engine_->run(program);
+}
+
+}  // namespace dampi::mpism

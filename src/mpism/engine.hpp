@@ -1,0 +1,246 @@
+// Engine: internal implementation of the mpism runtime.
+//
+// All state is guarded by one global mutex (the simulator runs on a
+// single host; per-rank condition variables keep wakeups targeted).
+// Matching is *eager*: every send is matched against posted receives at
+// injection time and every receive against queued sends at post time, so
+// the invariant "no pending posted receive is compatible with any queued
+// unexpected message" holds at all times. Under eager sends this makes
+// "every live rank is blocked" an exact deadlock criterion.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mpism/comm.hpp"
+#include "mpism/envelope.hpp"
+#include "mpism/report.hpp"
+#include "mpism/request.hpp"
+#include "mpism/runtime.hpp"
+#include "mpism/tool.hpp"
+
+namespace dampi::mpism {
+
+/// Thrown inside a rank thread when the run has been aborted elsewhere
+/// (another rank failed, or a deadlock was detected). Control flow only.
+struct AbortRun {};
+
+/// Thrown to report a bug in the program under test.
+struct ProgramFailure {
+  std::string message;
+};
+
+/// User data flowing into a collective (fields used depend on the kind).
+struct CollUserData {
+  Bytes single;              ///< bcast (root) / reduce / gather / allgather
+  std::vector<Bytes> multi;  ///< scatter (root) / alltoall
+  ReduceOp op = ReduceOp::kSumU64;
+  int color = 0;
+  int key = 0;
+};
+
+/// User data flowing out of a collective.
+struct CollUserResult {
+  Bytes single;              ///< bcast / reduce@root / allreduce / scatter
+  std::vector<Bytes> multi;  ///< gather@root / allgather / alltoall
+  CommId new_comm = kCommNull;
+};
+
+class Engine {
+ public:
+  explicit Engine(RunOptions options);
+  ~Engine();
+
+  RunReport run(const ProgramFn& program);
+
+  // --- Proc-facing API (travels through the tool stack) -------------------
+  RequestId api_isend(Rank r, Rank dst, Tag tag, Bytes payload, CommId comm,
+                      bool blocking, bool synchronous);
+  RequestId api_irecv(Rank r, Rank src, Tag tag, CommId comm, bool blocking);
+  Status api_wait(Rank r, RequestId req, Bytes* out, bool count_stat);
+  bool api_test(Rank r, RequestId req, Status* status, Bytes* out);
+  void api_waitall(Rank r, std::span<RequestId> reqs);
+  std::size_t api_waitany(Rank r, std::span<RequestId> reqs, Status* status,
+                          Bytes* out);
+  bool api_testall(Rank r, std::span<RequestId> reqs);
+  std::size_t api_testany(Rank r, std::span<RequestId> reqs, Status* status,
+                          Bytes* out);
+  /// flag == nullptr -> blocking probe; otherwise iprobe semantics.
+  Status api_probe(Rank r, Rank src, Tag tag, CommId comm, bool* flag);
+  CollUserResult api_collective(Rank r, CollKind kind, CommId comm, Rank root,
+                                CollUserData data);
+  void api_comm_free(Rank r, CommId comm);
+  void api_pcontrol(Rank r, int level, const std::string& what);
+  void api_compute(Rank r, double us);
+  [[noreturn]] void api_fail(Rank r, const std::string& message);
+
+  // --- translation / introspection ----------------------------------------
+  int world_size() const { return opts_.nprocs; }
+  int comm_size_of(CommId comm);
+  Rank comm_rank_of(CommId comm, Rank world);
+  Rank to_world(CommId comm, Rank rel);
+  Rank to_rel(CommId comm, Rank world);
+
+  // --- ToolCtx raw services (bypass the tool stack) ------------------------
+  RequestId raw_isend(Rank r, Rank dst, Tag tag, CommId comm, Bytes payload);
+  RequestId raw_irecv(Rank r, Rank src, Tag tag, CommId comm);
+  Status raw_wait(Rank r, RequestId req, Bytes* out);
+  Status raw_recv(Rank r, Rank src, Tag tag, CommId comm, Bytes* out);
+  bool raw_iprobe(Rank r, Rank src, Tag tag, CommId comm, Status* status);
+  void raw_barrier(Rank r, CommId comm);
+  CommId raw_comm_dup(Rank r, CommId comm);
+  void add_cost(Rank r, double us);
+  double vtime_of(Rank r);
+
+ private:
+  enum class BlockKind { kNone, kWait, kProbe, kColl };
+
+  struct PerRank {
+    std::condition_variable cv;
+    double vtime = 0.0;
+    bool finished = false;
+    bool blocked = false;
+    BlockKind block_kind = BlockKind::kNone;
+    std::string block_desc;
+    /// Wake predicate of the blocked operation; consulted by the deadlock
+    /// detector so a satisfied-but-not-yet-woken rank is not misread as
+    /// stuck.
+    std::function<bool()> block_pred;
+    std::deque<RequestId> posted_recvs;  ///< pending receives, post order
+    std::deque<Envelope> unexpected;     ///< unmatched arrivals, arrival order
+    std::unordered_map<RequestId, std::unique_ptr<RequestRecord>> reqs;
+    std::unordered_map<CommId, std::uint64_t> coll_gen;
+    std::vector<std::unique_ptr<ToolLayer>> tools;
+    std::unique_ptr<ToolCtx> ctx;
+  };
+
+  struct CollSlot {
+    CollKind kind = CollKind::kBarrier;
+    Rank root_world = -1;
+    int arrived = 0;
+    int departed = 0;
+    bool root_arrived = false;
+    double max_arrival_vtime = 0.0;
+    double root_arrival_vtime = 0.0;
+    std::vector<Bytes> pb;
+    std::vector<Bytes> data;
+    std::vector<std::vector<Bytes>> multi;
+    std::vector<int> colors;
+    std::vector<int> keys;
+    ReduceOp op = ReduceOp::kSumU64;
+    bool op_set = false;
+    // Lazily computed results.
+    bool merged_pb_done = false;
+    Bytes merged_pb;
+    bool reduced_done = false;
+    Bytes reduced;
+    bool split_done = false;
+    std::vector<CommId> comm_of_member;
+    CommId dup_comm = kCommNull;
+  };
+
+  // Internal primitives; all assume `lk` holds mu_.
+  RequestId do_isend(std::unique_lock<std::mutex>& lk, Rank r, Rank dst_world,
+                     Tag tag, CommId comm, Bytes payload, bool tool_internal,
+                     bool synchronous, SendInfo* info);
+  RequestId do_irecv(std::unique_lock<std::mutex>& lk, Rank r, Rank src_world,
+                     Tag tag, CommId comm, bool tool_internal);
+  /// Blocks until `req` completes; does not consume.
+  void block_until_complete(std::unique_lock<std::mutex>& lk, Rank r,
+                            RequestId req);
+  /// Runs post_wait hooks (lock dropped) and consumes the request.
+  Status finish_request(std::unique_lock<std::mutex>& lk, Rank r,
+                        RequestId req, Bytes* out, bool run_hooks);
+  /// Try to match a newly arrived envelope against r's posted receives.
+  /// Returns true when matched (request completed).
+  bool match_arrival(Rank dst, Envelope&& env);
+  /// Candidate heads for a wildcard receive/probe at rank r.
+  std::vector<MatchCandidate> wildcard_candidates(Rank r, Tag tag,
+                                                  CommId comm) const;
+  /// Earliest compatible unexpected message from a specific source.
+  const Envelope* find_specific(Rank r, Rank src_world, Tag tag,
+                                CommId comm) const;
+  void complete_recv(Rank r, RequestRecord& rec, Envelope&& env);
+  /// Remove the unexpected message with the given msg_id.
+  Envelope take_unexpected(Rank r, std::uint64_t msg_id);
+
+  /// Enter the blocked state and wait for `pred`; throws AbortRun when the
+  /// run aborts or deadlocks while waiting.
+  template <typename Pred>
+  void blocking_wait(std::unique_lock<std::mutex>& lk, Rank r, BlockKind kind,
+                     std::string desc, Pred pred);
+  /// Called with the lock held right before a rank would block; if every
+  /// other live rank is already blocked, declares a deadlock.
+  void maybe_declare_deadlock(Rank r);
+  void declare_deadlock_locked();
+  void abort_all_locked();
+  [[noreturn]] void throw_program_error(std::unique_lock<std::mutex>& lk,
+                                        Rank r, const std::string& message);
+  void check_abort(std::unique_lock<std::mutex>& lk);
+
+  // Tool hook dispatch (lock must NOT be held: hooks may re-enter).
+  void hooks_init(Rank r);
+  void hooks_finalize(Rank r);
+  void hooks_pre_isend(Rank r, SendCall& call);
+  void hooks_post_isend(Rank r, const SendCall& call, RequestId id,
+                        const SendInfo& info);
+  void hooks_pre_irecv(Rank r, RecvCall& call);
+  void hooks_post_irecv(Rank r, const RecvCall& call, RequestId id);
+  void hooks_pre_wait(Rank r, RequestId id);
+  void hooks_post_wait(Rank r, ReqCompletion& completion);
+  void hooks_pre_probe(Rank r, ProbeCall& call);
+  void hooks_post_probe(Rank r, const ProbeCall& call, bool flag,
+                        Status& status);
+  void hooks_pre_collective(Rank r, CollCall& call);
+  void hooks_post_collective(Rank r, const CollCall& call,
+                             const CollResult& result);
+  void hooks_pcontrol(Rank r, int level, const std::string& what);
+
+  CollUserResult collective_impl(Rank r, CollKind kind, CommId comm,
+                                 Rank root_rel, CollUserData data,
+                                 Bytes pb_contribution, bool tool_internal,
+                                 CollResult* tool_result);
+  void compute_slot_results(CollSlot& slot, const CommRecord& comm_rec,
+                            CollKind kind);
+  Bytes apply_reduce(std::unique_lock<std::mutex>& lk, Rank r,
+                     const CollSlot& slot, const CommRecord& comm_rec);
+
+  void validate_comm_member(std::unique_lock<std::mutex>& lk, Rank r,
+                            CommId comm);
+  std::uint64_t& seq_counter(Rank src, Rank dst, CommId comm);
+
+  PerRank& pr(Rank r) { return *ranks_[static_cast<std::size_t>(r)]; }
+
+  void rank_thread_main(Rank r, const ProgramFn& program);
+
+  RunOptions opts_;
+  std::mutex mu_;
+  std::vector<std::unique_ptr<PerRank>> ranks_;
+  CommTable comms_;
+  std::unique_ptr<MatchPolicy> policy_;
+  std::map<std::pair<CommId, std::uint64_t>, CollSlot> coll_slots_;
+  std::unordered_map<std::uint64_t, std::uint64_t> seq_counters_;
+  std::uint64_t next_msg_id_ = 1;
+  RequestId next_req_id_ = 1;
+
+  int blocked_count_ = 0;
+  int finished_count_ = 0;
+  bool aborted_ = false;
+  bool deadlocked_ = false;
+  std::string deadlock_detail_;
+  std::vector<ErrorInfo> errors_;
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t request_leaks_ = 0;
+  OpStats stats_;
+
+  friend class ToolCtxImpl;
+};
+
+}  // namespace dampi::mpism

@@ -1,0 +1,37 @@
+// Message envelope: what travels from a sender to a receiver's queues.
+#pragma once
+
+#include <cstdint>
+
+#include "mpism/types.hpp"
+
+namespace dampi::mpism {
+
+/// One in-flight (or delivered-but-unmatched) message. Ranks are *world*
+/// ranks; user-facing APIs translate to communicator-relative ranks at the
+/// boundary.
+struct Envelope {
+  Rank src_world = -1;
+  Rank dst_world = -1;
+  Tag tag = 0;
+  CommId comm = kCommWorld;
+  /// Send order within (src_world, dst_world, comm): the engine enforces
+  /// MPI's non-overtaking rule using this.
+  std::uint64_t seq = 0;
+  /// Globally unique id across the run.
+  std::uint64_t msg_id = 0;
+  /// Virtual time at which the message becomes visible at the destination
+  /// (sender's clock at injection + latency + bandwidth term).
+  double arrival_vtime = 0.0;
+  Bytes payload;
+  /// True for messages issued by tool layers (piggyback traffic); excluded
+  /// from user-visible op statistics and leak accounting.
+  bool tool_internal = false;
+  /// Non-null for synchronous sends: the sender's request, which only
+  /// completes when this envelope is matched by a receive (rendezvous
+  /// semantics — the MPI_Ssend mode eager buffering hides).
+  RequestId sender_req = kNullRequest;
+  Rank sender_world = -1;
+};
+
+}  // namespace dampi::mpism

@@ -1,0 +1,43 @@
+#include "mpism/policy.hpp"
+
+#include "common/check.hpp"
+
+namespace dampi::mpism {
+
+std::size_t LowestSourcePolicy::choose(const std::vector<MatchCandidate>& c) {
+  DAMPI_CHECK(!c.empty());
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < c.size(); ++i) {
+    if (c[i].src_world < c[best].src_world) best = i;
+  }
+  return best;
+}
+
+std::size_t FifoArrivalPolicy::choose(const std::vector<MatchCandidate>& c) {
+  DAMPI_CHECK(!c.empty());
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < c.size(); ++i) {
+    if (c[i].msg_id < c[best].msg_id) best = i;
+  }
+  return best;
+}
+
+std::size_t SeededRandomPolicy::choose(const std::vector<MatchCandidate>& c) {
+  DAMPI_CHECK(!c.empty());
+  return static_cast<std::size_t>(rng_.next_below(c.size()));
+}
+
+std::unique_ptr<MatchPolicy> make_policy(PolicyKind kind, std::uint64_t seed) {
+  switch (kind) {
+    case PolicyKind::kLowestSource:
+      return std::make_unique<LowestSourcePolicy>();
+    case PolicyKind::kFifoArrival:
+      return std::make_unique<FifoArrivalPolicy>();
+    case PolicyKind::kSeededRandom:
+      return std::make_unique<SeededRandomPolicy>(seed);
+  }
+  DAMPI_CHECK_MSG(false, "unknown policy kind");
+  return nullptr;
+}
+
+}  // namespace dampi::mpism

@@ -1,0 +1,44 @@
+// Result of executing one program run under the mpism runtime.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mpism/op_stats.hpp"
+#include "mpism/types.hpp"
+
+namespace dampi::mpism {
+
+struct RunReport {
+  /// Every rank returned from the program without error.
+  bool completed = false;
+  /// The run ended with all live ranks blocked and no enabled transition.
+  bool deadlocked = false;
+  /// Errors raised by the program under test (Proc::fail, failed
+  /// Proc::require, uncaught exceptions, MPI usage errors).
+  std::vector<ErrorInfo> errors;
+  /// Human-readable description of each blocked operation at deadlock.
+  std::string deadlock_detail;
+
+  /// Simulated execution time: max over ranks of accumulated virtual
+  /// microseconds at completion (or at abort).
+  double vtime_us = 0.0;
+  /// Host wall-clock seconds spent executing the run.
+  double wall_seconds = 0.0;
+
+  OpStats stats;
+
+  /// Resource-leak accounting at finalize (paper Table II): user
+  /// communicators never freed; requests never waited/tested to
+  /// completion. Tool-internal resources are exempt.
+  int comm_leaks = 0;
+  std::uint64_t request_leaks = 0;
+
+  /// User payload messages injected (excludes tool traffic).
+  std::uint64_t messages_sent = 0;
+
+  bool ok() const { return completed && errors.empty() && !deadlocked; }
+};
+
+}  // namespace dampi::mpism

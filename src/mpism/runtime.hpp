@@ -1,0 +1,52 @@
+// Runtime: executes an MPI-like program over N simulated ranks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "mpism/cost_model.hpp"
+#include "mpism/policy.hpp"
+#include "mpism/proc.hpp"
+#include "mpism/report.hpp"
+#include "mpism/tool.hpp"
+#include "mpism/types.hpp"
+
+namespace dampi::mpism {
+
+/// The program under test: executed once on every rank, in its own
+/// thread. Programs must be deterministic functions of their rank and of
+/// message-match outcomes — the precondition every dynamic verifier
+/// (ISP, DAMPI) places on replay.
+using ProgramFn = std::function<void(Proc&)>;
+
+struct RunOptions {
+  int nprocs = 2;
+  CostModel cost;
+  /// How the runtime resolves wildcard matches when several sources are
+  /// eligible (SELF_RUN behaviour).
+  PolicyKind policy = PolicyKind::kLowestSource;
+  std::uint64_t policy_seed = 1;
+  /// Interposition stack; empty means a native (uninstrumented) run.
+  ToolSetup tools;
+};
+
+/// One Runtime executes one run. Construct fresh per run (replays build a
+/// new Runtime so no state bleeds between interleavings).
+class Runtime {
+ public:
+  explicit Runtime(RunOptions options);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Blocks until every rank finishes, a deadlock is detected, or the
+  /// program under test fails.
+  RunReport run(const ProgramFn& program);
+
+ private:
+  std::unique_ptr<Engine> engine_;
+};
+
+}  // namespace dampi::mpism

@@ -1,0 +1,22 @@
+#include "mpism/types.hpp"
+
+namespace dampi::mpism {
+
+const char* coll_kind_name(CollKind kind) {
+  switch (kind) {
+    case CollKind::kBarrier: return "barrier";
+    case CollKind::kBcast: return "bcast";
+    case CollKind::kReduce: return "reduce";
+    case CollKind::kAllreduce: return "allreduce";
+    case CollKind::kGather: return "gather";
+    case CollKind::kScatter: return "scatter";
+    case CollKind::kAllgather: return "allgather";
+    case CollKind::kAlltoall: return "alltoall";
+    case CollKind::kCommDup: return "comm_dup";
+    case CollKind::kCommSplit: return "comm_split";
+    case CollKind::kCommFree: return "comm_free";
+  }
+  return "?";
+}
+
+}  // namespace dampi::mpism

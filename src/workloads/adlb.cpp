@@ -1,0 +1,174 @@
+#include "workloads/adlb.hpp"
+
+#include <deque>
+#include <unordered_map>
+
+#include "common/check.hpp"
+#include "mpism/types.hpp"
+
+namespace dampi::workloads::adlb {
+namespace {
+
+using mpism::Bytes;
+using mpism::kAnySource;
+using mpism::kAnyTag;
+using mpism::Proc;
+using mpism::Status;
+
+constexpr mpism::Tag kGetTag = 1;
+constexpr mpism::Tag kPutTag = 2;
+constexpr mpism::Tag kReplyTag = 3;
+
+struct WorkUnit {
+  std::uint32_t id = 0;
+  std::uint32_t depth = 0;
+};
+
+Bytes encode(const WorkUnit& unit) { return mpism::pack(unit); }
+WorkUnit decode(const Bytes& bytes) { return mpism::unpack<WorkUnit>(bytes); }
+
+int server_of(int worker, int nprocs, const Config& config) {
+  return nprocs - config.num_servers + (worker % config.num_servers);
+}
+
+// ---------------------------------------------------------------------------
+// Server: the wildcard-receive hot loop.
+// ---------------------------------------------------------------------------
+
+class Server {
+ public:
+  Server(Proc& p, const Config& config) : p_(p), config_(config) {
+    const int workers = p.size() - config.num_servers;
+    for (int w = 0; w < workers; ++w) {
+      if (server_of(w, p.size(), config) == p.rank()) my_workers_.push_back(w);
+    }
+    for (int r = 0; r < config.roots_per_server; ++r) {
+      pending_.push_back(WorkUnit{next_id_++, 0});
+    }
+  }
+
+  void run() {
+    if (config_.abstract_server_loop) p_.pcontrol(1, "adlb-server");
+    while (done_workers_ < static_cast<int>(my_workers_.size())) {
+      Bytes data;
+      const Status st = p_.recv(kAnySource, kAnyTag, &data);
+      if (st.tag == kPutTag) {
+        pending_.push_back(decode(data));
+      } else {
+        DAMPI_CHECK(st.tag == kGetTag);
+        on_get(st.source);
+      }
+      // A Put may unblock waiting workers; drained state may terminate
+      // the ones still waiting.
+      serve_waiting();
+      maybe_finish_waiting();
+    }
+    if (config_.abstract_server_loop) p_.pcontrol(0, "adlb-server");
+  }
+
+ private:
+  void on_get(int worker) {
+    // Non-overtaking guarantees this worker's child Puts (sent before its
+    // next Get) were received first, so its previous unit is fully done.
+    auto it = has_outstanding_.find(worker);
+    if (it != has_outstanding_.end() && it->second) {
+      it->second = false;
+      --outstanding_;
+    }
+    if (!pending_.empty()) {
+      hand_out(worker);
+    } else if (outstanding_ == 0) {
+      finish_worker(worker);
+    } else {
+      waiting_.push_back(worker);  // defer: work may still be spawned
+    }
+  }
+
+  void hand_out(int worker) {
+    const WorkUnit unit = pending_.front();
+    pending_.pop_front();
+    p_.send(worker, kReplyTag, encode(unit));
+    has_outstanding_[worker] = true;
+    ++outstanding_;
+  }
+
+  void serve_waiting() {
+    while (!pending_.empty() && !waiting_.empty()) {
+      const int worker = waiting_.front();
+      waiting_.pop_front();
+      hand_out(worker);
+    }
+  }
+
+  void maybe_finish_waiting() {
+    if (!pending_.empty() || outstanding_ != 0) return;
+    while (!waiting_.empty()) {
+      finish_worker(waiting_.front());
+      waiting_.pop_front();
+    }
+  }
+
+  void finish_worker(int worker) {
+    p_.send(worker, kReplyTag, Bytes{});  // empty = NoMoreWork
+    ++done_workers_;
+  }
+
+  Proc& p_;
+  const Config& config_;
+  std::vector<int> my_workers_;
+  std::deque<WorkUnit> pending_;
+  std::deque<int> waiting_;
+  std::unordered_map<int, bool> has_outstanding_;
+  int outstanding_ = 0;
+  int done_workers_ = 0;
+  std::uint32_t next_id_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Worker: Get -> compute -> Put children -> repeat.
+// ---------------------------------------------------------------------------
+
+void worker_loop(Proc& p, const Config& config) {
+  const int server = server_of(p.rank(), p.size(), config);
+  std::uint32_t child_id = 0x10000u * static_cast<std::uint32_t>(p.rank());
+  while (true) {
+    p.send(server, kGetTag, Bytes{});
+    Bytes reply;
+    p.recv(server, kReplyTag, &reply);
+    if (reply.empty()) break;  // NoMoreWork
+    const WorkUnit unit = decode(reply);
+    p.compute(config.compute_us_per_unit);
+    if (static_cast<int>(unit.depth) < config.spawn_depth) {
+      for (int c = 0; c < config.children_per_unit; ++c) {
+        p.send(server, kPutTag,
+               encode(WorkUnit{++child_id, unit.depth + 1}));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::uint64_t total_units(const Config& config) {
+  std::uint64_t per_root = 0;
+  std::uint64_t level = 1;
+  for (int d = 0; d <= config.spawn_depth; ++d) {
+    per_root += level;
+    level *= static_cast<std::uint64_t>(config.children_per_unit);
+  }
+  return static_cast<std::uint64_t>(config.num_servers) *
+         static_cast<std::uint64_t>(config.roots_per_server) * per_root;
+}
+
+void run(Proc& p, const Config& config) {
+  DAMPI_CHECK(config.num_servers >= 1);
+  DAMPI_CHECK_MSG(p.size() > config.num_servers,
+                  "ADLB needs at least one worker rank");
+  if (p.rank() >= p.size() - config.num_servers) {
+    Server(p, config).run();
+  } else {
+    worker_loop(p, config);
+  }
+}
+
+}  // namespace dampi::workloads::adlb

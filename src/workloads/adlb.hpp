@@ -1,0 +1,50 @@
+// Mini-ADLB: a working Asynchronous Dynamic Load Balancing library in
+// the style of Lusk/Pieper/Butler/Chan's ADLB, the paper's most
+// aggressively non-deterministic workload (§III, Fig. 9).
+//
+// Architecture (like the original): ranks split into *servers*, which
+// own shared work queues, and *workers* (application ranks). Workers
+// interact with their server through Put (add a work unit) and Get
+// (request a unit); the server's main loop is a hot wildcard receive —
+// every message that arrives is a non-deterministic match, which is why
+// the paper calls ADLB "very difficult to control through all possible
+// outcomes during conventional testing".
+//
+// The work model: seeded root units; each unit may spawn children up to
+// a depth bound, so the total unit count is fixed while *which worker
+// processes which unit* — and therefore the server's entire receive
+// sequence — varies with matching. Termination: a server counts queued +
+// in-flight units and answers Get with NoMoreWork once everything is
+// drained; workers exit on that reply.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mpism/proc.hpp"
+
+namespace dampi::workloads::adlb {
+
+struct Config {
+  /// Servers occupy the highest ranks; the rest are workers. Workers are
+  /// assigned to servers round-robin.
+  int num_servers = 1;
+  /// Root work units seeded into each server's queue.
+  int roots_per_server = 4;
+  /// Each unit at depth < spawn_depth puts this many children.
+  int children_per_unit = 1;
+  int spawn_depth = 1;
+  /// Virtual microseconds of compute per unit.
+  double compute_us_per_unit = 50.0;
+  /// Bracket the server loop in an MPI_Pcontrol region (the paper's
+  /// loop-iteration abstraction applies naturally to it).
+  bool abstract_server_loop = false;
+};
+
+/// Totals a run must conserve (used by tests): units processed overall.
+std::uint64_t total_units(const Config& config);
+
+/// The application entry point: run on every rank of the world.
+void run(mpism::Proc& p, const Config& config);
+
+}  // namespace dampi::workloads::adlb

@@ -1,0 +1,173 @@
+#include "workloads/cg_solver.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/strutil.hpp"
+#include "mpism/types.hpp"
+
+namespace dampi::workloads {
+namespace {
+
+using mpism::Bytes;
+using mpism::pack_vec;
+using mpism::Proc;
+using mpism::unpack_vec;
+
+constexpr mpism::Tag kHaloUp = 11;    ///< sent to the rank above (rank-1)
+constexpr mpism::Tag kHaloDown = 12;  ///< sent to the rank below (rank+1)
+
+/// Block-row partition of the grid's n rows over nprocs ranks.
+struct RowRange {
+  int begin = 0;
+  int end = 0;
+  int count() const { return end - begin; }
+};
+
+RowRange rows_of(int rank, int nprocs, int n) {
+  const int base = n / nprocs;
+  const int extra = n % nprocs;
+  RowRange range;
+  range.begin = rank * base + std::min(rank, extra);
+  range.end = range.begin + base + (rank < extra ? 1 : 0);
+  return range;
+}
+
+/// Local state: vectors are (rows x n), row-major.
+class LocalCg {
+ public:
+  LocalCg(Proc& p, const CgConfig& config)
+      : p_(p),
+        config_(config),
+        n_(config.grid_n),
+        range_(rows_of(p.rank(), p.size(), config.grid_n)) {}
+
+  int rows() const { return range_.count(); }
+  std::size_t cells() const {
+    return static_cast<std::size_t>(rows()) * static_cast<std::size_t>(n_);
+  }
+
+  /// Exchange halo rows of `v` with up/down neighbors; returns the two
+  /// ghost rows (empty when at the domain boundary).
+  void exchange_halo(const std::vector<double>& v, std::vector<double>* up,
+                     std::vector<double>* down) {
+    up->clear();
+    down->clear();
+    const bool has_up = p_.rank() > 0;
+    const bool has_down = p_.rank() + 1 < p_.size();
+    const std::size_t row_bytes = static_cast<std::size_t>(n_);
+    // Pair the exchanges with sendrecv so no ordering deadlock can arise.
+    if (has_up) {
+      Bytes ghost;
+      p_.sendrecv(p_.rank() - 1, kHaloUp,
+                  pack_vec(std::vector<double>(v.begin(),
+                                               v.begin() + static_cast<std::ptrdiff_t>(row_bytes))),
+                  p_.rank() - 1, kHaloDown, &ghost);
+      *up = unpack_vec<double>(ghost);
+    }
+    if (has_down) {
+      Bytes ghost;
+      p_.sendrecv(p_.rank() + 1, kHaloDown,
+                  pack_vec(std::vector<double>(v.end() - static_cast<std::ptrdiff_t>(row_bytes),
+                                               v.end())),
+                  p_.rank() + 1, kHaloUp, &ghost);
+      *down = unpack_vec<double>(ghost);
+    }
+  }
+
+  /// q = A v for the 5-point Laplacian with Dirichlet (zero) boundary.
+  std::vector<double> matvec(const std::vector<double>& v) {
+    std::vector<double> up, down;
+    exchange_halo(v, &up, &down);
+    std::vector<double> q(cells(), 0.0);
+    for (int i = 0; i < rows(); ++i) {
+      for (int j = 0; j < n_; ++j) {
+        const auto at = [&](int ii, int jj) -> double {
+          if (jj < 0 || jj >= n_) return 0.0;
+          if (ii < 0) return up.empty() ? 0.0 : up[static_cast<std::size_t>(jj)];
+          if (ii >= rows()) {
+            return down.empty() ? 0.0 : down[static_cast<std::size_t>(jj)];
+          }
+          return v[static_cast<std::size_t>(ii) * n_ + jj];
+        };
+        q[static_cast<std::size_t>(i) * n_ + j] =
+            4.0 * at(i, j) - at(i - 1, j) - at(i + 1, j) - at(i, j - 1) -
+            at(i, j + 1);
+      }
+    }
+    p_.compute(config_.flop_cost_us * static_cast<double>(cells()));
+    return q;
+  }
+
+  double dot(const std::vector<double>& a, const std::vector<double>& b) {
+    double local = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) local += a[i] * b[i];
+    return p_.allreduce_f64(local, mpism::ReduceOp::kSumF64);
+  }
+
+  std::vector<double> rhs() const {
+    // Deterministic b from the *global* cell index, identical across
+    // process counts.
+    std::vector<double> b(cells());
+    for (int i = 0; i < rows(); ++i) {
+      for (int j = 0; j < n_; ++j) {
+        Rng rng(config_.seed +
+                static_cast<std::uint64_t>(range_.begin + i) * n_ + j);
+        b[static_cast<std::size_t>(i) * n_ + j] = rng.next_double() - 0.5;
+      }
+    }
+    return b;
+  }
+
+ private:
+  Proc& p_;
+  const CgConfig& config_;
+  int n_;
+  RowRange range_;
+};
+
+}  // namespace
+
+void cg_solver(Proc& p, const CgConfig& config) {
+  DAMPI_CHECK_MSG(p.size() <= config.grid_n,
+                  "cg_solver needs at least one grid row per rank");
+  LocalCg cg(p, config);
+
+  const std::vector<double> b = cg.rhs();
+  std::vector<double> x(cg.cells(), 0.0);
+  std::vector<double> r = b;
+  std::vector<double> d = r;
+  double rs = cg.dot(r, r);
+  const double target = config.tolerance * config.tolerance;
+
+  int iterations = 0;
+  for (; iterations < config.max_iterations && rs > target; ++iterations) {
+    const std::vector<double> q = cg.matvec(d);
+    const double dq = cg.dot(d, q);
+    p.require(dq > 0.0, "cg: matrix lost positive definiteness");
+    const double alpha = rs / dq;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      x[i] += alpha * d[i];
+      r[i] -= alpha * q[i];
+    }
+    const double rs_new = cg.dot(r, r);
+    const double beta = rs_new / rs;
+    for (std::size_t i = 0; i < d.size(); ++i) d[i] = r[i] + beta * d[i];
+    rs = rs_new;
+  }
+  p.require(rs <= target,
+            strfmt("cg: no convergence after %d iterations (rs=%g)",
+                   iterations, rs));
+
+  // Independent end-to-end check: recompute the residual from x.
+  const std::vector<double> ax = cg.matvec(x);
+  std::vector<double> check(cg.cells());
+  for (std::size_t i = 0; i < check.size(); ++i) check[i] = b[i] - ax[i];
+  const double residual = std::sqrt(cg.dot(check, check));
+  p.require(residual <= 10.0 * config.tolerance,
+            strfmt("cg: residual check failed (%g)", residual));
+}
+
+}  // namespace dampi::workloads

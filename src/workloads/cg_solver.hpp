@@ -1,0 +1,28 @@
+// A real distributed conjugate-gradient solver (not a skeleton): solves
+// the 2D 5-point Laplacian system A x = b on an n x n grid, block-row
+// distributed. Communication per iteration: halo sendrecv with up/down
+// neighbors for the matvec plus two allreduce dot products — the NAS CG
+// communication pattern with genuine numerics, so correctness under
+// instrumentation is checked end-to-end (the residual must converge).
+#pragma once
+
+#include <cstdint>
+
+#include "mpism/proc.hpp"
+
+namespace dampi::workloads {
+
+struct CgConfig {
+  int grid_n = 32;        ///< grid is grid_n x grid_n (rows split over ranks)
+  int max_iterations = 200;
+  double tolerance = 1e-8;
+  std::uint64_t seed = 3;
+  /// Virtual microseconds per owned grid point per matvec.
+  double flop_cost_us = 0.002;
+};
+
+/// Runs on any nprocs <= grid_n. Calls Proc::fail if CG does not converge
+/// or the residual check fails — a genuine end-to-end correctness gate.
+void cg_solver(mpism::Proc& p, const CgConfig& config);
+
+}  // namespace dampi::workloads

@@ -1,0 +1,168 @@
+#include "workloads/matmult.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/strutil.hpp"
+#include "mpism/types.hpp"
+
+namespace dampi::workloads {
+namespace {
+
+using mpism::Bytes;
+using mpism::kAnySource;
+using mpism::pack_vec;
+using mpism::Proc;
+using mpism::Status;
+using mpism::unpack_vec;
+
+constexpr mpism::Tag kWorkTag = 1;
+constexpr mpism::Tag kResultTag = 2;
+constexpr mpism::Tag kStopTag = 3;
+
+std::vector<double> random_matrix(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> m(static_cast<std::size_t>(n) * n);
+  for (double& v : m) v = rng.next_double() * 2.0 - 1.0;
+  return m;
+}
+
+/// Work unit: [row_start, rows, a-row data...].
+Bytes encode_chunk(int row_start, int rows, const std::vector<double>& a,
+                   int n) {
+  std::vector<double> payload;
+  payload.reserve(2 + static_cast<std::size_t>(rows) * n);
+  payload.push_back(row_start);
+  payload.push_back(rows);
+  payload.insert(payload.end(),
+                 a.begin() + static_cast<std::ptrdiff_t>(row_start) * n,
+                 a.begin() + static_cast<std::ptrdiff_t>(row_start + rows) * n);
+  return pack_vec(payload);
+}
+
+void master(Proc& p, const MatmultConfig& config) {
+  const int n = config.n;
+  const int workers = p.size() - 1;
+  const auto a = random_matrix(n, config.seed);
+  auto b_data = random_matrix(n, config.seed + 1);
+
+  Bytes b_bytes = pack_vec(b_data);
+  p.bcast(&b_bytes, /*root=*/0);
+
+  const int total_chunks = (n + config.chunk_rows - 1) / config.chunk_rows;
+  int next_chunk = 0;
+  auto chunk_bounds = [&](int chunk, int* row_start, int* rows) {
+    *row_start = chunk * config.chunk_rows;
+    *rows = std::min(config.chunk_rows, n - *row_start);
+  };
+
+  // Prime every worker with one chunk (idle workers get an early stop).
+  int active_workers = 0;
+  for (int w = 1; w <= workers; ++w) {
+    if (next_chunk < total_chunks) {
+      int row_start = 0, rows = 0;
+      chunk_bounds(next_chunk++, &row_start, &rows);
+      p.send(w, kWorkTag, encode_chunk(row_start, rows, a, n));
+      ++active_workers;
+    } else {
+      p.send(w, kStopTag, {});
+    }
+  }
+
+  std::vector<double> c(static_cast<std::size_t>(n) * n, 0.0);
+  int completed = 0;
+  int cursor_row = 0;  // used only by the injected bug
+  if (config.abstract_loop) p.pcontrol(1, "matmult-collect");
+  while (completed < total_chunks) {
+    Bytes result;
+    const Status st = p.recv(kAnySource, kResultTag, &result);
+    const auto payload = unpack_vec<double>(result);
+    const int row_start = static_cast<int>(payload[0]);
+    const int rows = static_cast<int>(payload[1]);
+    // The injected bug assumes results come back in submission order and
+    // writes to a running cursor; correct code uses the chunk's own row
+    // index carried in the payload.
+    const int dest_row = config.inject_order_bug ? cursor_row : row_start;
+    cursor_row += rows;
+    for (int i = 0; i < rows * n; ++i) {
+      c[static_cast<std::size_t>(dest_row) * n + i] = payload[2 + i];
+    }
+    ++completed;
+    if (next_chunk < total_chunks) {
+      int rs = 0, rc = 0;
+      chunk_bounds(next_chunk++, &rs, &rc);
+      p.send(st.source, kWorkTag, encode_chunk(rs, rc, a, n));
+    } else {
+      p.send(st.source, kStopTag, {});
+      --active_workers;
+    }
+  }
+  if (config.abstract_loop) p.pcontrol(0, "matmult-collect");
+  DAMPI_CHECK(active_workers == 0);
+
+  // Verify against a serial product.
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double expect = 0.0;
+      for (int k = 0; k < n; ++k) {
+        expect += a[static_cast<std::size_t>(i) * n + k] *
+                  b_data[static_cast<std::size_t>(k) * n + j];
+      }
+      const double got = c[static_cast<std::size_t>(i) * n + j];
+      if (std::abs(expect - got) > 1e-9) {
+        p.fail(strfmt("matmult: C[%d][%d] wrong (got %f, want %f)", i, j,
+                      got, expect));
+      }
+    }
+  }
+}
+
+void worker(Proc& p, const MatmultConfig& config) {
+  const int n = config.n;
+  Bytes b_bytes;
+  p.bcast(&b_bytes, /*root=*/0);
+  const auto b = unpack_vec<double>(b_bytes);
+
+  while (true) {
+    Bytes chunk;
+    const Status st = p.recv(0, mpism::kAnyTag, &chunk);
+    if (st.tag == kStopTag) break;
+    const auto payload = unpack_vec<double>(chunk);
+    const int row_start = static_cast<int>(payload[0]);
+    const int rows = static_cast<int>(payload[1]);
+
+    std::vector<double> out;
+    out.reserve(2 + static_cast<std::size_t>(rows) * n);
+    out.push_back(row_start);
+    out.push_back(rows);
+    for (int i = 0; i < rows; ++i) {
+      for (int j = 0; j < n; ++j) {
+        double sum = 0.0;
+        for (int k = 0; k < n; ++k) {
+          sum += payload[2 + static_cast<std::size_t>(i) * n + k] *
+                 b[static_cast<std::size_t>(k) * n + j];
+        }
+        out.push_back(sum);
+      }
+    }
+    p.compute(config.flop_cost_us * rows * n * n);
+    p.send(0, kResultTag, pack_vec(out));
+  }
+}
+
+}  // namespace
+
+void matmult(Proc& p, const MatmultConfig& config) {
+  DAMPI_CHECK(p.size() >= 2);
+  DAMPI_CHECK(config.n >= 1 && config.chunk_rows >= 1);
+  if (p.rank() == 0) {
+    master(p, config);
+  } else {
+    worker(p, config);
+  }
+}
+
+}  // namespace dampi::workloads

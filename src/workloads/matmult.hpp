@@ -1,0 +1,35 @@
+// Master/worker matrix multiplication — the paper's matmult benchmark
+// (§III): the master broadcasts B, deals row chunks of A to workers, and
+// collects results with wildcard receives, handing each finishing worker
+// the next chunk. The wildcard per completed chunk is what gives the
+// benchmark its rich interleaving space (Figs. 6 and 8).
+#pragma once
+
+#include <cstdint>
+
+#include "mpism/proc.hpp"
+
+namespace dampi::workloads {
+
+struct MatmultConfig {
+  int n = 8;           ///< A and B are n x n
+  int chunk_rows = 1;  ///< rows per work unit (chunks = ceil(n/chunk_rows))
+  std::uint64_t seed = 42;
+  /// Virtual microseconds of compute per multiply-accumulate.
+  double flop_cost_us = 0.01;
+  /// Bracket the work loop in an MPI_Pcontrol region (loop-iteration
+  /// abstraction, §III-B1): epochs inside keep their self-run match.
+  bool abstract_loop = false;
+  /// Inject the paper-style order-sensitivity bug: the master writes
+  /// results into a cursor position instead of the chunk's row index, so
+  /// any out-of-submission-order completion corrupts C. Only replay of
+  /// alternate matches exposes it.
+  bool inject_order_bug = false;
+};
+
+/// Run on >= 2 ranks; rank 0 is the master. Verifies C against a serial
+/// product at the end (Proc::require), so a wrong matching order under
+/// inject_order_bug surfaces as a program error.
+void matmult(mpism::Proc& p, const MatmultConfig& config);
+
+}  // namespace dampi::workloads

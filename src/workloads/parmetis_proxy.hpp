@@ -1,0 +1,51 @@
+// ParMETIS-3.1 proxy: a k-way partition-refinement communication
+// skeleton calibrated to the operation profile the paper measures
+// (Table I) — about one million MPI calls at 32 processes, total
+// operations growing ~2.5x per process doubling while per-process
+// operations grow only ~1.3x, and collectives per process shrinking.
+//
+// Structure: `phases` coarsening/refinement phases, each running
+// `iters_per_phase` boundary-exchange iterations. The neighbor set per
+// process grows sublinearly with P (boundary degree of a k-way
+// partition), which is what produces the paper's scaling profile. The
+// computation itself is a seeded stand-in (partition quality is
+// irrelevant to the measurement); the code is fully deterministic — no
+// wildcard receives — exactly like ParMETIS.
+#pragma once
+
+#include <cstdint>
+
+#include "mpism/proc.hpp"
+
+namespace dampi::workloads {
+
+struct ParmetisConfig {
+  int phases = 15;
+  int iters_per_phase = 125;
+  /// Local vertices; sets boundary payload sizes.
+  int vertices_per_proc = 512;
+  /// Neighbor count ~= neighbor_factor * P^neighbor_exponent, clamped to
+  /// [2, P-1].
+  double neighbor_factor = 1.55;
+  double neighbor_exponent = 0.45;
+  /// Virtual microseconds of local refinement per iteration.
+  double compute_us_per_iter = 40.0;
+  /// The original leaks a communicator (Table II: C-Leak yes, R-Leak no).
+  bool leak_communicator = true;
+  std::uint64_t seed = 7;
+
+  /// Uniform shrink factor for tests/quick runs (divides phase count).
+  ParmetisConfig scaled(int divisor) const {
+    ParmetisConfig c = *this;
+    c.phases = std::max(1, phases / divisor);
+    return c;
+  }
+};
+
+void parmetis_proxy(mpism::Proc& p, const ParmetisConfig& config);
+
+/// Neighbor count used at a given process count (exposed for tests and
+/// the Table I harness).
+int parmetis_neighbors(const ParmetisConfig& config, int nprocs);
+
+}  // namespace dampi::workloads

@@ -1,0 +1,175 @@
+#include "workloads/patterns.hpp"
+
+#include "common/check.hpp"
+
+namespace dampi::workloads {
+
+using mpism::Bytes;
+using mpism::kAnySource;
+using mpism::pack;
+using mpism::Proc;
+using mpism::RequestId;
+using mpism::Status;
+using mpism::unpack;
+
+namespace {
+constexpr mpism::Tag kTag = 0;
+}
+
+void fig3_wildcard_bug(Proc& p) {
+  DAMPI_CHECK(p.size() >= 3);
+  switch (p.rank()) {
+    case 0: {
+      RequestId s = p.isend(1, kTag, pack<int>(22));
+      p.wait(s);
+      break;
+    }
+    case 1: {
+      RequestId r = p.irecv(kAnySource, kTag);
+      Bytes data;
+      p.wait(r, &data);
+      const int x = unpack<int>(data);
+      p.require(x != 33, "fig3: x == 33");
+      break;
+    }
+    case 2: {
+      RequestId s = p.isend(1, kTag, pack<int>(33));
+      p.wait(s);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void fig3_benign(Proc& p) {
+  DAMPI_CHECK(p.size() >= 3);
+  switch (p.rank()) {
+    case 0:
+      p.send(1, kTag, pack<int>(22));
+      break;
+    case 1:
+      p.recv(kAnySource, kTag);
+      p.recv(kAnySource, kTag);
+      break;
+    case 2:
+      p.send(1, kTag, pack<int>(33));
+      break;
+    default:
+      break;
+  }
+}
+
+void fig4_cross_coupled(Proc& p) {
+  DAMPI_CHECK(p.size() >= 4);
+  switch (p.rank()) {
+    case 0:
+      p.send(1, kTag, pack<int>(100));
+      break;
+    case 1: {
+      p.recv(kAnySource, kTag);       // epoch: matches P0 (or P2's late send)
+      p.send(2, kTag, pack<int>(111));  // cross-coupled competitor for P2
+      p.recv(kAnySource, kTag);         // drain whichever message remains
+      break;
+    }
+    case 2: {
+      p.recv(kAnySource, kTag);       // epoch: matches P3 (or P1's late send)
+      p.send(1, kTag, pack<int>(222));  // cross-coupled competitor for P1
+      p.recv(kAnySource, kTag);         // drain whichever message remains
+      break;
+    }
+    case 3:
+      p.send(2, kTag, pack<int>(300));
+      break;
+    default:
+      break;
+  }
+}
+
+void fig10_unsafe_pattern(Proc& p) {
+  DAMPI_CHECK(p.size() >= 3);
+  switch (p.rank()) {
+    case 0: {
+      RequestId s = p.isend(1, kTag, pack<int>(22));
+      p.wait(s);
+      p.barrier();
+      break;
+    }
+    case 1: {
+      RequestId r = p.irecv(kAnySource, kTag);
+      p.barrier();  // crossed while the wildcard is pending: §V pattern
+      Bytes data;
+      p.wait(r, &data);
+      p.require(unpack<int>(data) != 33, "fig10: x == 33");
+      break;
+    }
+    case 2: {
+      p.barrier();
+      p.send(1, kTag, pack<int>(33));  // competitor hidden from analysis
+      break;
+    }
+    default:
+      break;
+  }
+  // Drain rank 2's message when rank 1 survived with x == 22, so the run
+  // ends cleanly whichever way the race went.
+  if (p.rank() == 1) p.recv(kAnySource, kTag);
+}
+
+void simple_deadlock(Proc& p) {
+  DAMPI_CHECK(p.size() >= 2);
+  if (p.rank() < 2) p.recv(1 - p.rank(), kTag);
+}
+
+void wildcard_dependent_deadlock(Proc& p) {
+  DAMPI_CHECK(p.size() >= 3);
+  switch (p.rank()) {
+    case 0:
+      p.send(1, kTag, pack<int>(0));
+      break;
+    case 1: {
+      const Status st = p.recv(kAnySource, kTag);
+      if (st.source == 2) {
+        // Only reachable when the wildcard matched rank 2: wait for a
+        // message rank 0 never sends on tag 1 -> deadlock.
+        p.recv(0, 1);
+      } else {
+        p.recv(2, kTag);  // benign path drains rank 2's message
+      }
+      break;
+    }
+    case 2:
+      p.send(1, kTag, pack<int>(0));
+      break;
+    default:
+      break;
+  }
+}
+
+void leaky_program(Proc& p) {
+  p.comm_dup();  // never freed: one C-leak per run
+  // One unconsumed request per rank: an isend to self that is never
+  // waited (the matching receive consumes the data, not the request).
+  p.isend(p.rank(), 3, pack<int>(p.rank()),
+          mpism::kCommWorld);
+  p.recv(p.rank(), 3);
+}
+
+void fan_in_rounds(Proc& p, int rounds) {
+  DAMPI_CHECK(p.size() >= 2);
+  if (p.rank() == 0) {
+    p.barrier();
+    for (int r = 0; r < rounds; ++r) {
+      for (int i = 1; i < p.size(); ++i) {
+        p.recv(kAnySource, /*tag=*/r);
+      }
+    }
+  } else {
+    for (int r = 0; r < rounds; ++r) {
+      p.send(0, /*tag=*/r, pack<int>(p.rank() * 1000 + r));
+    }
+    p.barrier();
+  }
+}
+
+}  // namespace dampi::workloads

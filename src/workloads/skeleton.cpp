@@ -1,0 +1,167 @@
+#include "workloads/skeleton.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/check.hpp"
+#include "mpism/types.hpp"
+
+namespace dampi::workloads {
+namespace {
+
+using mpism::Bytes;
+using mpism::kAnySource;
+using mpism::Proc;
+using mpism::RequestId;
+
+/// Near-balanced factorization of P into `dims` factors (descending).
+std::vector<int> factorize(int nprocs, int dims) {
+  std::vector<int> out(static_cast<std::size_t>(dims), 1);
+  int remaining = nprocs;
+  for (int d = 0; d < dims; ++d) {
+    const int target = static_cast<int>(std::round(
+        std::pow(static_cast<double>(remaining),
+                 1.0 / static_cast<double>(dims - d))));
+    int pick = 1;
+    for (int f = std::max(target, 1); f >= 1; --f) {
+      if (remaining % f == 0) {
+        pick = f;
+        break;
+      }
+    }
+    out[static_cast<std::size_t>(d)] = pick;
+    remaining /= pick;
+  }
+  out.back() *= remaining;
+  return out;
+}
+
+void add_torus_neighbors(std::set<int>* partners, int rank,
+                         const std::vector<int>& dims) {
+  // rank -> coordinates (row-major), +/-1 in each dimension with wrap.
+  std::vector<int> coord(dims.size());
+  int rest = rank;
+  for (std::size_t d = dims.size(); d-- > 0;) {
+    coord[d] = rest % dims[d];
+    rest /= dims[d];
+  }
+  for (std::size_t d = 0; d < dims.size(); ++d) {
+    if (dims[d] == 1) continue;
+    for (int delta : {-1, 1}) {
+      std::vector<int> c = coord;
+      c[d] = (c[d] + delta + dims[d]) % dims[d];
+      int neighbor = 0;
+      for (std::size_t k = 0; k < dims.size(); ++k) {
+        neighbor = neighbor * dims[k] + c[k];
+      }
+      if (neighbor != rank) partners->insert(neighbor);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<int> skeleton_partners(Topology topology, int rank, int nprocs) {
+  std::set<int> partners;
+  switch (topology) {
+    case Topology::kRing:
+      if (nprocs > 1) {
+        partners.insert((rank + 1) % nprocs);
+        partners.insert((rank + nprocs - 1) % nprocs);
+      }
+      break;
+    case Topology::kGrid2D:
+      add_torus_neighbors(&partners, rank, factorize(nprocs, 2));
+      break;
+    case Topology::kGrid3D:
+      add_torus_neighbors(&partners, rank, factorize(nprocs, 3));
+      break;
+    case Topology::kHypercube:
+      for (int bit = 1; bit < nprocs; bit <<= 1) {
+        const int peer = rank ^ bit;
+        if (peer < nprocs && peer != rank) partners.insert(peer);
+      }
+      break;
+    case Topology::kAlltoall:
+      break;  // handled collectively
+  }
+  return {partners.begin(), partners.end()};
+}
+
+void run_skeleton(Proc& p, const SkeletonSpec& spec) {
+  const int nprocs = p.size();
+  const auto partners =
+      skeleton_partners(spec.topology, p.rank(), nprocs);
+
+  if (spec.leak_communicator) {
+    p.comm_dup();  // intentionally never freed (Table II C-Leak)
+  }
+
+  const Bytes halo(spec.payload_bytes, std::byte{0});
+  for (int iter = 0; iter < spec.iterations; ++iter) {
+    const mpism::Tag tag = iter % 1024;
+    if (spec.topology == Topology::kAlltoall) {
+      std::vector<Bytes> slices(static_cast<std::size_t>(nprocs), halo);
+      p.alltoall(std::move(slices));
+    } else if (!partners.empty()) {
+      const bool wildcard_iter =
+          spec.wildcard_stride > 0 && iter % spec.wildcard_stride == 0 &&
+          p.rank() % std::max(spec.wildcard_rank_stride, 1) == 0;
+      std::vector<RequestId> recvs;
+      std::vector<RequestId> sends;
+      recvs.reserve(partners.size() *
+                    static_cast<std::size_t>(spec.messages_per_partner));
+      sends.reserve(recvs.capacity());
+      for (const int partner : partners) {
+        for (int m = 0; m < spec.messages_per_partner; ++m) {
+          recvs.push_back(
+              p.irecv(wildcard_iter ? kAnySource : partner, tag));
+          sends.push_back(p.isend(partner, tag, halo));
+        }
+      }
+      p.waitall(sends);
+      // Complete receives in groups: the group size shapes the
+      // Wait : Send-Recv operation ratio of the profile.
+      const std::size_t group = static_cast<std::size_t>(
+          std::max(spec.waitall_group, 1));
+      for (std::size_t at = 0; at < recvs.size(); at += group) {
+        const std::size_t n = std::min(group, recvs.size() - at);
+        p.waitall(std::span<RequestId>(recvs.data() + at, n));
+      }
+    }
+
+    if (spec.compute_us_per_iter > 0.0) p.compute(spec.compute_us_per_iter);
+
+    if (spec.collective != CollectiveFlavor::kNone &&
+        spec.collective_stride > 0 &&
+        iter % spec.collective_stride == 0) {
+      switch (spec.collective) {
+        case CollectiveFlavor::kAllreduce:
+          p.allreduce_u64(static_cast<std::uint64_t>(iter),
+                          mpism::ReduceOp::kMaxU64);
+          break;
+        case CollectiveFlavor::kBarrier:
+          p.barrier();
+          break;
+        case CollectiveFlavor::kBcast: {
+          Bytes data;
+          if (p.rank() == 0) data = mpism::pack<int>(iter);
+          p.bcast(&data, 0);
+          break;
+        }
+        case CollectiveFlavor::kNone:
+          break;
+      }
+    }
+  }
+
+  if (spec.leak_request) {
+    // The payload is consumed; the request handle is not (R-Leak).
+    p.isend(p.rank(), 1023, mpism::pack<int>(1));
+    p.recv(p.rank(), 1023);
+  }
+}
+
+}  // namespace dampi::workloads

@@ -1,0 +1,76 @@
+// Communication skeletons: parameterized stand-ins for the paper's
+// NAS-PB 3.3 and SpecMPI2007 benchmarks.
+//
+// Table II measures instrumentation overhead and local-resource checking,
+// which depend on a code's *operation profile* — how many point-to-point
+// / collective / wait operations it issues, how many wildcard receives it
+// posts, its message sizes and compute density — not on the physics it
+// computes. Each proxy is therefore a skeleton with the communication
+// structure of the original (stencil halos, transposes, butterfly
+// reductions, pipelined sweeps) and the wildcard counts / leaks the paper
+// reports for it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "mpism/proc.hpp"
+
+namespace dampi::workloads {
+
+/// Which partner set a rank exchanges with each iteration.
+enum class Topology {
+  kRing,       ///< left/right neighbors (1D stencil)
+  kGrid2D,     ///< 4-neighbor halo on a near-square process grid
+  kGrid3D,     ///< 6-neighbor halo on a near-cubic process grid
+  kHypercube,  ///< log2(P) partners (FFT/transpose butterflies)
+  kAlltoall,   ///< collective alltoall instead of point-to-point
+};
+
+/// Which collective punctuates iterations.
+enum class CollectiveFlavor { kNone, kAllreduce, kBarrier, kBcast };
+
+struct SkeletonSpec {
+  std::string name;
+
+  int iterations = 10;
+  Topology topology = Topology::kGrid2D;
+
+  /// Messages exchanged with each partner per iteration.
+  int messages_per_partner = 1;
+  /// Payload bytes per message.
+  std::size_t payload_bytes = 1024;
+
+  /// Every `wildcard_stride`-th iteration receives its halo with
+  /// MPI_ANY_SOURCE instead of named partners (0 = never). This is what
+  /// separates milc/LU-style codes (high R*) from the deterministic rest.
+  int wildcard_stride = 0;
+  /// Only ranks with rank % wildcard_rank_stride == 0 post wildcards
+  /// (models codes where only boundary/pipeline-head ranks are
+  /// non-deterministic, e.g. 137.lu's 732 wildcards across 1024 ranks).
+  int wildcard_rank_stride = 1;
+
+  /// Collective cadence: one `collective` every `collective_stride`
+  /// iterations (0 = never).
+  CollectiveFlavor collective = CollectiveFlavor::kAllreduce;
+  int collective_stride = 1;
+
+  /// Virtual microseconds of local compute per iteration.
+  double compute_us_per_iter = 50.0;
+
+  /// Resource bugs to reproduce (Table II C-Leak / R-Leak columns).
+  bool leak_communicator = false;
+  bool leak_request = false;
+
+  /// Nonblocking receives are completed with waitall on groups of this
+  /// size (controls the Wait:Send-Recv operation ratio).
+  int waitall_group = 4;
+};
+
+/// Run the skeleton on all ranks of the communicator (world).
+void run_skeleton(mpism::Proc& p, const SkeletonSpec& spec);
+
+/// Partner list for a rank under a topology (exposed for tests).
+std::vector<int> skeleton_partners(Topology topology, int rank, int nprocs);
+
+}  // namespace dampi::workloads

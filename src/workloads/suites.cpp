@@ -1,0 +1,189 @@
+#include "workloads/suites.hpp"
+
+namespace dampi::workloads {
+namespace {
+
+SkeletonSpec base(std::string name, Topology topology, int iterations) {
+  SkeletonSpec spec;
+  spec.name = std::move(name);
+  spec.topology = topology;
+  spec.iterations = iterations;
+  return spec;
+}
+
+std::vector<SuiteEntry> build_suite() {
+  std::vector<SuiteEntry> suite;
+
+  {  // 104.milc — lattice QCD: wildcard-heavy halo exchange. The paper's
+     // outlier: 51K wildcard receives and a 15x slowdown, plus a
+     // communicator leak.
+    SuiteEntry e;
+    e.spec = base("104.milc", Topology::kGrid3D, 32);
+    e.spec.payload_bytes = 512;
+    e.spec.wildcard_stride = 4;
+    e.spec.collective_stride = 8;
+    e.spec.compute_us_per_iter = 4.0;
+    e.spec.leak_communicator = true;
+    e.spec.waitall_group = 6;
+    e.paper_slowdown = 15.0;
+    e.paper_rstar = 51'000;
+    e.paper_comm_leak = true;
+    suite.push_back(e);
+  }
+  {  // 107.leslie3d — compute-dense 3D stencil, fully deterministic.
+    SuiteEntry e;
+    e.spec = base("107.leslie3d", Topology::kGrid3D, 24);
+    e.spec.payload_bytes = 8192;
+    e.spec.collective_stride = 6;
+    e.spec.compute_us_per_iter = 150.0;
+    e.paper_slowdown = 1.14;
+    suite.push_back(e);
+  }
+  {  // 113.GemsFDTD — FDTD stencil, deterministic, leaks a communicator.
+    SuiteEntry e;
+    e.spec = base("113.GemsFDTD", Topology::kGrid3D, 24);
+    e.spec.payload_bytes = 4096;
+    e.spec.collective = CollectiveFlavor::kBcast;
+    e.spec.collective_stride = 6;
+    e.spec.compute_us_per_iter = 150.0;
+    e.spec.leak_communicator = true;
+    e.paper_slowdown = 1.13;
+    e.paper_comm_leak = true;
+    suite.push_back(e);
+  }
+  {  // 126.lammps — MD neighbor exchange: many tiny messages, so the
+     // per-message piggyback overhead bites (1.88x).
+    SuiteEntry e;
+    e.spec = base("126.lammps", Topology::kGrid3D, 40);
+    e.spec.messages_per_partner = 2;
+    e.spec.payload_bytes = 64;
+    e.spec.collective_stride = 4;
+    e.spec.compute_us_per_iter = 2.0;
+    e.paper_slowdown = 1.88;
+    suite.push_back(e);
+  }
+  {  // 130.socorro — DFT: balanced compute/communication mix.
+    SuiteEntry e;
+    e.spec = base("130.socorro", Topology::kGrid2D, 24);
+    e.spec.payload_bytes = 2048;
+    e.spec.collective_stride = 2;
+    e.spec.compute_us_per_iter = 60.0;
+    e.paper_slowdown = 1.25;
+    suite.push_back(e);
+  }
+  {  // 137.lu — SPEC's LU: a few hundred wildcard receives across the
+     // job (732), communicator leak, negligible slowdown.
+    SuiteEntry e;
+    e.spec = base("137.lu", Topology::kGrid2D, 40);
+    e.spec.payload_bytes = 2048;
+    e.spec.wildcard_stride = 40;  // one wildcard sweep per run
+    e.spec.wildcard_rank_stride = 8;  // only pipeline heads (732/1024)
+    e.spec.collective_stride = 10;
+    e.spec.compute_us_per_iter = 200.0;
+    e.spec.leak_communicator = true;
+    e.paper_slowdown = 1.04;
+    e.paper_rstar = 732;
+    e.paper_comm_leak = true;
+    suite.push_back(e);
+  }
+  {  // NAS BT — block tridiagonal: 3D halos, larger payloads, dup'd
+     // communicator never freed.
+    SuiteEntry e;
+    e.spec = base("BT", Topology::kGrid3D, 30);
+    e.spec.payload_bytes = 6144;
+    e.spec.collective_stride = 10;
+    e.spec.compute_us_per_iter = 100.0;
+    e.spec.leak_communicator = true;
+    e.paper_slowdown = 1.28;
+    e.paper_comm_leak = true;
+    suite.push_back(e);
+  }
+  {  // NAS CG — conjugate gradient: butterfly transposes + a dot-product
+     // allreduce every iteration.
+    SuiteEntry e;
+    e.spec = base("CG", Topology::kHypercube, 40);
+    e.spec.payload_bytes = 2048;
+    e.spec.collective_stride = 1;
+    e.spec.compute_us_per_iter = 60.0;
+    e.paper_slowdown = 1.09;
+    suite.push_back(e);
+  }
+  {  // NAS DT — data traffic: a short burst of large messages.
+    SuiteEntry e;
+    e.spec = base("DT", Topology::kRing, 8);
+    e.spec.payload_bytes = 16384;
+    e.spec.collective = CollectiveFlavor::kNone;
+    e.spec.compute_us_per_iter = 100.0;
+    e.paper_slowdown = 1.01;
+    suite.push_back(e);
+  }
+  {  // NAS EP — embarrassingly parallel: essentially no communication.
+    SuiteEntry e;
+    e.spec = base("EP", Topology::kRing, 2);
+    e.spec.messages_per_partner = 0;
+    e.spec.collective_stride = 1;
+    e.spec.compute_us_per_iter = 5000.0;
+    e.paper_slowdown = 1.02;
+    suite.push_back(e);
+  }
+  {  // NAS FT — FFT: all-to-all transposes, dup'd communicator leak.
+    SuiteEntry e;
+    e.spec = base("FT", Topology::kAlltoall, 12);
+    e.spec.payload_bytes = 4096;
+    e.spec.collective_stride = 6;
+    e.spec.compute_us_per_iter = 800.0;
+    e.spec.leak_communicator = true;
+    e.paper_slowdown = 1.01;
+    e.paper_comm_leak = true;
+    suite.push_back(e);
+  }
+  {  // NAS IS — integer sort: alltoall buckets + allreduce each iter.
+    SuiteEntry e;
+    e.spec = base("IS", Topology::kAlltoall, 16);
+    e.spec.payload_bytes = 2048;
+    e.spec.collective_stride = 1;
+    e.spec.compute_us_per_iter = 50.0;
+    e.paper_slowdown = 1.09;
+    suite.push_back(e);
+  }
+  {  // NAS LU — pipelined wavefront: torrents of tiny messages plus
+     // wildcard receives in its sweeps; the 2.22x / R*=1K row.
+    SuiteEntry e;
+    e.spec = base("LU", Topology::kGrid2D, 60);
+    e.spec.messages_per_partner = 2;
+    e.spec.payload_bytes = 128;
+    e.spec.wildcard_stride = 60;      // a single wildcard sweep
+    e.spec.wildcard_rank_stride = 8;  // ~1K wildcards at 1024 ranks
+    e.spec.collective_stride = 15;
+    e.spec.compute_us_per_iter = 10.0;
+    e.paper_slowdown = 2.22;
+    e.paper_rstar = 1000;
+    suite.push_back(e);
+  }
+  {  // NAS MG — multigrid V-cycles: halo exchange at every level.
+    SuiteEntry e;
+    e.spec = base("MG", Topology::kGrid3D, 24);
+    e.spec.payload_bytes = 1024;
+    e.spec.collective_stride = 3;
+    e.spec.compute_us_per_iter = 80.0;
+    e.paper_slowdown = 1.15;
+    suite.push_back(e);
+  }
+  return suite;
+}
+
+}  // namespace
+
+const std::vector<SuiteEntry>& table2_suite() {
+  static const std::vector<SuiteEntry> suite = build_suite();
+  return suite;
+}
+
+std::optional<SuiteEntry> find_suite_entry(const std::string& name) {
+  for (const SuiteEntry& entry : table2_suite()) {
+    if (entry.spec.name == name) return entry;
+  }
+  return std::nullopt;
+}
+
+}  // namespace dampi::workloads

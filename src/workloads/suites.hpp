@@ -1,0 +1,31 @@
+// Named proxies for the paper's Table II benchmark suite: NAS-PB 3.3 and
+// SpecMPI2007, plus the ground truth the paper reports for each (R*,
+// slowdown, leaks) so the Table II harness can print paper-vs-measured.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "workloads/skeleton.hpp"
+
+namespace dampi::workloads {
+
+struct SuiteEntry {
+  SkeletonSpec spec;
+  /// What the paper's Table II reports for the original code.
+  double paper_slowdown = 1.0;
+  std::uint64_t paper_rstar = 0;
+  bool paper_comm_leak = false;
+  bool paper_request_leak = false;
+};
+
+/// The 14 Table II rows below ParMETIS (which has its own proxy module):
+/// 104.milc, 107.leslie3d, 113.GemsFDTD, 126.lammps, 130.socorro, 137.lu,
+/// then NAS BT CG DT EP FT IS LU MG — in the paper's order.
+const std::vector<SuiteEntry>& table2_suite();
+
+/// Lookup by name (e.g. "104.milc", "LU"); nullopt when unknown.
+std::optional<SuiteEntry> find_suite_entry(const std::string& name);
+
+}  // namespace dampi::workloads

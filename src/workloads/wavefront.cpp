@@ -1,0 +1,105 @@
+#include "workloads/wavefront.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/strutil.hpp"
+#include "mpism/types.hpp"
+
+namespace dampi::workloads {
+namespace {
+
+using mpism::Bytes;
+using mpism::kAnySource;
+using mpism::pack;
+using mpism::Proc;
+using mpism::Status;
+using mpism::unpack;
+
+}  // namespace
+
+std::pair<int, int> wavefront_grid(int nprocs) {
+  int rows = static_cast<int>(std::sqrt(static_cast<double>(nprocs)));
+  while (rows > 1 && nprocs % rows != 0) --rows;
+  return {rows, nprocs / rows};
+}
+
+double wavefront_expected_corner(int rows, int cols) {
+  // Serial evaluation of the correct recurrence
+  //   v(i,j) = v(i-1,j) + 2 v(i,j-1),  v(0,0) = 1, missing input = 0.
+  std::vector<double> table(static_cast<std::size_t>(rows) * cols, 0.0);
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < cols; ++j) {
+      if (i == 0 && j == 0) {
+        table[0] = 1.0;
+        continue;
+      }
+      const double north = i > 0 ? table[static_cast<std::size_t>(i - 1) *
+                                             cols + j]
+                                 : 0.0;
+      const double west =
+          j > 0 ? table[static_cast<std::size_t>(i) * cols + (j - 1)] : 0.0;
+      table[static_cast<std::size_t>(i) * cols + j] = north + 2.0 * west;
+    }
+  }
+  return table[static_cast<std::size_t>(rows) * cols - 1];
+}
+
+void wavefront(Proc& p, const WavefrontConfig& config) {
+  const auto [rows, cols] = wavefront_grid(p.size());
+  const int ri = p.rank() / cols;
+  const int rj = p.rank() % cols;
+  const int north_rank = ri > 0 ? p.rank() - cols : -1;
+  const int west_rank = rj > 0 ? p.rank() - 1 : -1;
+  const int south_rank = ri + 1 < rows ? p.rank() + cols : -1;
+  const int east_rank = rj + 1 < cols ? p.rank() + 1 : -1;
+
+  const double expected_corner = wavefront_expected_corner(rows, cols);
+
+  for (int sweep = 0; sweep < config.sweeps; ++sweep) {
+    const mpism::Tag tag = sweep % 1024;
+
+    double value;
+    const int inputs = (north_rank >= 0 ? 1 : 0) + (west_rank >= 0 ? 1 : 0);
+    if (inputs == 0) {
+      value = 1.0;  // the origin seeds the sweep
+    } else if (inputs == 1) {
+      Bytes data;
+      const Status st = p.recv(kAnySource, tag, &data);
+      const double input = unpack<double>(data);
+      value = st.source == north_rank ? input : 2.0 * input;
+    } else {
+      // Two wildcard receives: the sweep's non-determinism.
+      Bytes first_data, second_data;
+      const Status first = p.recv(kAnySource, tag, &first_data);
+      const Status second = p.recv(kAnySource, tag, &second_data);
+      const double a = unpack<double>(first_data);
+      const double b = unpack<double>(second_data);
+      if (config.inject_order_bug) {
+        // Assumes north always arrives first — true on the home system,
+        // false under other matchings.
+        value = a + 2.0 * b;
+      } else {
+        const double north = first.source == north_rank ? a : b;
+        const double west = first.source == west_rank ? a : b;
+        value = north + 2.0 * west;
+        p.require(first.source != second.source,
+                  "wavefront: duplicate input source");
+      }
+    }
+
+    p.compute(config.flop_cost_us);
+    if (south_rank >= 0) p.send(south_rank, tag, pack(value));
+    if (east_rank >= 0) p.send(east_rank, tag, pack(value));
+
+    if (south_rank < 0 && east_rank < 0) {
+      // Corner rank: end-to-end check of the whole sweep.
+      p.require(value == expected_corner,
+                strfmt("wavefront: corner %g, expected %g (sweep %d)", value,
+                       expected_corner, sweep));
+    }
+  }
+}
+
+}  // namespace dampi::workloads

@@ -1,0 +1,39 @@
+// Wavefront sweep (the NAS-LU communication pattern with real data):
+// ranks form a logical 2D grid; each rank's cell value depends on its
+// north and west neighbors, which it receives with *wildcard* receives —
+// two per sweep step, matched in whichever order the messages arrive.
+//
+// With a commutative combine the result is match-order independent, so
+// DAMPI's exploration proves the code correct over all outcomes. With
+// the injected non-commutative bug (a subtraction whose operand order is
+// taken from arrival order), only some matching orders produce the right
+// checksum — the paper's class of port-this-code-and-it-breaks bugs.
+#pragma once
+
+#include <cstdint>
+
+#include "mpism/proc.hpp"
+
+namespace dampi::workloads {
+
+struct WavefrontConfig {
+  int sweeps = 2;
+  /// Combine north/west inputs in arrival order with a non-commutative
+  /// operation; correct only when west happens to arrive first.
+  bool inject_order_bug = false;
+  double flop_cost_us = 10.0;
+};
+
+/// Runs on any nprocs >= 1 (the process grid is a near-square
+/// factorization). Verifies the corner checksum every sweep.
+void wavefront(mpism::Proc& p, const WavefrontConfig& config);
+
+/// The analytically expected corner value for a grid of the given
+/// dimensions after one sweep starting from value 1 at the origin
+/// (exposed for tests).
+double wavefront_expected_corner(int rows, int cols);
+
+/// The process-grid factorization used for nprocs ranks (rows, cols).
+std::pair<int, int> wavefront_grid(int nprocs);
+
+}  // namespace dampi::workloads

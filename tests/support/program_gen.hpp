@@ -1,0 +1,112 @@
+// Seeded random-program generator for property tests.
+//
+// Generates deadlock-free-by-construction MPI programs: a set of
+// messages (src, dst, tag) partitioned into barrier-separated phases;
+// within a phase every sender fires its sends eagerly and every receiver
+// posts one wildcard receive per incoming message. Because receives are
+// wildcards and sends are eager, every matching order completes — so the
+// brute-force oracle's reachable set is exactly the set of matchings,
+// which the explorer must cover (vector mode) or soundly under-cover
+// (Lamport mode).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "mpism/proc.hpp"
+#include "mpism/types.hpp"
+
+namespace dampi::test {
+
+struct GenMessage {
+  int src = 0;
+  int dst = 0;
+  mpism::Tag tag = 0;
+  int phase = 0;
+};
+
+struct GeneratedProgram {
+  int nprocs = 3;
+  int phases = 1;
+  std::vector<GenMessage> messages;
+  /// When true, receivers post one fewer receive than their incoming
+  /// count in the final phase, leaving an unreceived message for the
+  /// finalize-time drain to analyze.
+  bool leave_unreceived = false;
+
+  /// Total wildcard receives the program posts.
+  std::size_t expected_epochs() const {
+    std::size_t recvs = messages.size();
+    if (leave_unreceived) {
+      // One receive dropped per rank that had final-phase traffic.
+      std::vector<bool> dropped(static_cast<std::size_t>(nprocs), false);
+      for (const GenMessage& m : messages) {
+        if (m.phase == phases - 1) {
+          dropped[static_cast<std::size_t>(m.dst)] = true;
+        }
+      }
+      for (const bool d : dropped) {
+        if (d) --recvs;
+      }
+    }
+    return recvs;
+  }
+};
+
+/// Draw a random program. Sizes are kept small enough for the
+/// brute-force oracle (epochs <= ~5 at nprocs <= 4).
+inline GeneratedProgram generate_program(std::uint64_t seed, int nprocs,
+                                         int max_messages,
+                                         bool leave_unreceived = false) {
+  Rng rng(seed);
+  GeneratedProgram prog;
+  prog.nprocs = nprocs;
+  prog.phases = 1 + static_cast<int>(rng.next_below(2));
+  prog.leave_unreceived = leave_unreceived;
+  const int count =
+      2 + static_cast<int>(rng.next_below(
+              static_cast<std::uint64_t>(max_messages - 1)));
+  for (int i = 0; i < count; ++i) {
+    GenMessage m;
+    m.src = static_cast<int>(rng.next_below(
+        static_cast<std::uint64_t>(nprocs)));
+    do {
+      m.dst = static_cast<int>(rng.next_below(
+          static_cast<std::uint64_t>(nprocs)));
+    } while (m.dst == m.src);
+    m.tag = static_cast<mpism::Tag>(rng.next_below(2));
+    m.phase = static_cast<int>(rng.next_below(
+        static_cast<std::uint64_t>(prog.phases)));
+    prog.messages.push_back(m);
+  }
+  return prog;
+}
+
+/// Execute the generated program on one rank.
+inline void run_generated(mpism::Proc& p, const GeneratedProgram& prog) {
+  for (int phase = 0; phase < prog.phases; ++phase) {
+    // Sends first (eager), then wildcard receives per incoming message.
+    int incoming_any_tag[2] = {0, 0};
+    for (const GenMessage& m : prog.messages) {
+      if (m.phase != phase) continue;
+      if (m.src == p.rank()) {
+        p.send(m.dst, m.tag, mpism::pack<int>(m.tag));
+      }
+      if (m.dst == p.rank()) {
+        ++incoming_any_tag[m.tag];
+      }
+    }
+    int to_recv = incoming_any_tag[0] + incoming_any_tag[1];
+    if (prog.leave_unreceived && phase == prog.phases - 1 && to_recv > 0) {
+      --to_recv;
+    }
+    // Tag-blind wildcard receives: any matching order is feasible, so
+    // the program is deadlock-free under every forced schedule.
+    for (int i = 0; i < to_recv; ++i) {
+      p.recv(mpism::kAnySource, mpism::kAnyTag);
+    }
+    p.barrier();
+  }
+}
+
+}  // namespace dampi::test

@@ -1,0 +1,103 @@
+// Brute-force reachability oracle for small programs.
+//
+// Enumerates every wildcard-match assignment by recursively forcing each
+// discovered epoch to every conceivable source and running the program
+// under the resulting schedule. An assignment is *valid* when the trace
+// shows every forced epoch actually matched its forced source (invalid
+// forcings starve the receive and show up as unmatched). The set of
+// outcome signatures of valid runs is the ground truth that DAMPI's
+// explorer is compared against: equality = completeness, subset =
+// soundness.
+//
+// Exponential by construction — only for programs with a handful of
+// epochs.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "support/verify_helpers.hpp"
+
+namespace dampi::test {
+
+/// Signature of one run: every epoch's (rank, nd_index, matched source),
+/// sorted, plus whether the run deadlocked or errored. Two runs with the
+/// same signature reached the same matching outcome.
+struct OutcomeSignature {
+  std::vector<std::tuple<int, std::uint64_t, int>> matches;
+  bool deadlocked = false;
+  bool errored = false;
+
+  friend auto operator<=>(const OutcomeSignature&,
+                          const OutcomeSignature&) = default;
+};
+
+inline OutcomeSignature signature_of(const core::RunTrace& trace,
+                                     const mpism::RunReport& report) {
+  OutcomeSignature sig;
+  for (const auto& e : trace.epochs) {
+    sig.matches.emplace_back(e.key.rank, e.key.nd_index, e.matched_src_world);
+  }
+  std::sort(sig.matches.begin(), sig.matches.end());
+  sig.deadlocked = report.deadlocked;
+  sig.errored = !report.errors.empty();
+  return sig;
+}
+
+class ReferenceEnumerator {
+ public:
+  ReferenceEnumerator(core::ExplorerOptions options, mpism::ProgramFn program)
+      : options_(std::move(options)), program_(std::move(program)) {}
+
+  /// All reachable outcomes (bounded by max_runs as a safety net).
+  std::set<OutcomeSignature> enumerate(std::size_t max_runs = 4096) {
+    max_runs_ = max_runs;
+    runs_ = 0;
+    outcomes_.clear();
+    recurse(core::Schedule{});
+    return outcomes_;
+  }
+
+  std::size_t runs() const { return runs_; }
+
+ private:
+  void recurse(const core::Schedule& schedule) {
+    if (runs_ >= max_runs_) return;
+    ++runs_;
+    auto result = run_dampi_once(options_, schedule, program_);
+
+    // Validate the forcing: every decision must have been honored.
+    for (const auto& [key, src] : schedule.forced) {
+      const auto* epoch =
+          find_epoch(result.trace, key.rank, key.nd_index);
+      if (epoch == nullptr || epoch->matched_src_world != src) {
+        return;  // unreachable forcing; prune without recording
+      }
+    }
+
+    outcomes_.insert(signature_of(result.trace, result.report));
+
+    // Extend: first epoch (in trace order) without a decision, tried with
+    // every other rank as source.
+    const auto sorted = result.trace.sorted();
+    for (const auto* epoch : sorted) {
+      if (schedule.forced.count(epoch->key) != 0) continue;
+      for (int src = 0; src < options_.nprocs; ++src) {
+        if (src == epoch->key.rank) continue;
+        core::Schedule extended = schedule;
+        extended.forced[epoch->key] = src;
+        recurse(extended);
+      }
+      break;  // only the first undecided epoch branches at this level
+    }
+  }
+
+  core::ExplorerOptions options_;
+  mpism::ProgramFn program_;
+  std::size_t max_runs_ = 0;
+  std::size_t runs_ = 0;
+  std::set<OutcomeSignature> outcomes_;
+};
+
+}  // namespace dampi::test

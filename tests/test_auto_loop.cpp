@@ -1,0 +1,118 @@
+// Automatic loop-iteration detection (§VI future work implemented):
+// consecutive identical-signature ND events past a threshold keep their
+// self-run matches, collapsing loop-dominated interleaving spaces
+// without user annotations.
+#include <gtest/gtest.h>
+
+#include "support/verify_helpers.hpp"
+#include "workloads/adlb.hpp"
+#include "workloads/matmult.hpp"
+#include "workloads/patterns.hpp"
+
+namespace dampi::test {
+namespace {
+
+using core::ExplorerOptions;
+using mpism::kAnySource;
+using mpism::pack;
+using mpism::Proc;
+
+TEST(AutoLoop, DisabledByDefault) {
+  ExplorerOptions options = explorer_options(4);
+  auto result = run_dampi_once(options, {}, [](Proc& p) {
+    workloads::fan_in_rounds(p, 1);
+  });
+  ASSERT_TRUE(result.report.completed);
+  EXPECT_EQ(result.trace.auto_abstracted_epochs, 0u);
+}
+
+TEST(AutoLoop, StreakBeyondThresholdIsAbstracted) {
+  // fan_in_rounds(1) on 5 ranks: rank 0 posts 4 identical wildcards.
+  ExplorerOptions options = explorer_options(5);
+  options.auto_loop_threshold = 2;
+  auto result = run_dampi_once(options, {}, [](Proc& p) {
+    workloads::fan_in_rounds(p, 1);
+  });
+  ASSERT_TRUE(result.report.completed);
+  // Epochs 0,1 explored; 2,3 auto-abstracted.
+  EXPECT_EQ(result.trace.auto_abstracted_epochs, 2u);
+  EXPECT_FALSE(find_epoch(result.trace, 0, 0)->in_ignored_region);
+  EXPECT_FALSE(find_epoch(result.trace, 0, 1)->in_ignored_region);
+  EXPECT_TRUE(find_epoch(result.trace, 0, 2)->auto_abstracted);
+  EXPECT_TRUE(find_epoch(result.trace, 0, 3)->auto_abstracted);
+}
+
+TEST(AutoLoop, SignatureChangeResetsTheStreak) {
+  // Alternating tags never build a streak of 2.
+  ExplorerOptions options = explorer_options(3);
+  options.auto_loop_threshold = 1;
+  auto result = run_dampi_once(options, {}, [](Proc& p) {
+    if (p.rank() == 0) {
+      p.barrier();
+      for (int i = 0; i < 4; ++i) p.recv(kAnySource, /*tag=*/i % 2);
+    } else {
+      for (int i = 0; i < 4; ++i) {
+        if (i % 2 == static_cast<int>(p.rank()) % 2) {
+          p.send(0, i % 2, pack<int>(i));
+          p.send(0, i % 2, pack<int>(i));
+        }
+      }
+      p.barrier();
+    }
+  });
+  ASSERT_TRUE(result.report.completed) << result.report.deadlock_detail;
+  EXPECT_EQ(result.trace.auto_abstracted_epochs, 0u);
+}
+
+TEST(AutoLoop, CollapsesMatmultExplorationLikeManualPcontrol) {
+  workloads::MatmultConfig config;
+  config.n = 6;
+  config.chunk_rows = 1;
+  const auto program = [config](Proc& p) { workloads::matmult(p, config); };
+
+  auto interleavings_with = [&program](int threshold) {
+    ExplorerOptions options = explorer_options(4);
+    options.auto_loop_threshold = threshold;
+    options.max_interleavings = 4096;
+    core::Explorer explorer(options);
+    return explorer.explore(program).interleavings;
+  };
+  const auto full = interleavings_with(0);
+  const auto collapsed = interleavings_with(1);
+  EXPECT_GT(full, collapsed);
+  // Only the first collect epoch keeps alternatives.
+  EXPECT_LE(collapsed, 4u);
+}
+
+TEST(AutoLoop, TamesAdlbServerLoop) {
+  workloads::adlb::Config config;
+  config.roots_per_server = 3;
+  const auto program = [config](Proc& p) { workloads::adlb::run(p, config); };
+
+  ExplorerOptions options = explorer_options(4);
+  options.auto_loop_threshold = 3;
+  options.max_interleavings = 4096;
+  core::Explorer explorer(options);
+  const auto with_auto = explorer.explore(program);
+
+  ExplorerOptions unbounded = explorer_options(4);
+  unbounded.max_interleavings = 4096;
+  core::Explorer full_explorer(unbounded);
+  const auto full = full_explorer.explore(program);
+
+  EXPECT_FALSE(with_auto.found_bug());
+  EXPECT_LT(with_auto.interleavings, full.interleavings);
+  EXPECT_GT(with_auto.interleavings, 1u);  // early iterations still explored
+}
+
+TEST(AutoLoop, BugInEarlyIterationsStillFound) {
+  // fig3's single buggy epoch is within any reasonable threshold.
+  ExplorerOptions options = explorer_options(3);
+  options.auto_loop_threshold = 2;
+  core::Explorer explorer(options);
+  auto result = explorer.explore(workloads::fig3_wildcard_bug);
+  EXPECT_TRUE(result.found_bug());
+}
+
+}  // namespace
+}  // namespace dampi::test

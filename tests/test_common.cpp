@@ -1,0 +1,177 @@
+// Unit tests for the common utilities and the substrate's small pieces:
+// formatting, statistics, RNG determinism, cost model, op stats, epoch
+// trace ordering, and schedules.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/strutil.hpp"
+#include "core/decision.hpp"
+#include "core/epoch.hpp"
+#include "mpism/cost_model.hpp"
+#include "mpism/op_stats.hpp"
+
+namespace dampi {
+namespace {
+
+TEST(Strutil, FormatsLikePrintf) {
+  EXPECT_EQ(strfmt("rank %d: %s", 3, "ok"), "rank 3: ok");
+  EXPECT_EQ(strfmt("%05.1f", 2.25), "002.2");
+  EXPECT_EQ(strfmt("empty"), "empty");
+}
+
+TEST(Strutil, FixedDecimals) {
+  EXPECT_EQ(fmt_fixed(1.1834, 2), "1.18");
+  EXPECT_EQ(fmt_fixed(2.0, 0), "2");
+  EXPECT_EQ(fmt_fixed(-0.5, 1), "-0.5");
+}
+
+TEST(Stats, HumanCountMatchesPaperStyle) {
+  EXPECT_EQ(human_count(999), "999");
+  EXPECT_EQ(human_count(9999), "9999");
+  EXPECT_EQ(human_count(10'000), "10K");
+  EXPECT_EQ(human_count(187'000), "187K");
+  EXPECT_EQ(human_count(7'986'400), "7986K");
+  EXPECT_EQ(human_count(23'500), "24K");  // rounds
+}
+
+TEST(Stats, RunningStatMoments) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);  // sample stddev
+}
+
+TEST(Stats, TextTableAlignsColumns) {
+  TextTable t;
+  t.header({"a", "long-header"});
+  t.row({"xxxx", "1"});
+  const std::string out = t.str();
+  EXPECT_NE(out.find("a     long-header"), std::string::npos);
+  EXPECT_NE(out.find("xxxx  1"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next_u64();
+    EXPECT_EQ(va, b.next_u64());
+    (void)c.next_u64();
+  }
+  Rng a2(42), c2(43);
+  EXPECT_NE(a2.next_u64(), c2.next_u64());
+}
+
+TEST(Rng, BoundsRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(10), 10u);
+    const auto v = rng.next_in(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng base(100);
+  Rng f1 = base.fork(1);
+  Rng f2 = base.fork(2);
+  EXPECT_NE(f1.next_u64(), f2.next_u64());
+}
+
+TEST(Check, ThrowsInternalErrorWithLocation) {
+  try {
+    DAMPI_CHECK_MSG(false, "context here");
+    FAIL() << "should have thrown";
+  } catch (const InternalError& e) {
+    EXPECT_NE(std::string(e.what()).find("context here"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("test_common.cpp"),
+              std::string::npos);
+  }
+}
+
+TEST(CostModel, TransitScalesWithBytes) {
+  mpism::CostModel cost;
+  EXPECT_DOUBLE_EQ(cost.message_transit_us(0), cost.latency_us);
+  EXPECT_GT(cost.message_transit_us(1 << 20), cost.message_transit_us(1024));
+}
+
+TEST(CostModel, CollectiveLogarithmic) {
+  mpism::CostModel cost;
+  EXPECT_DOUBLE_EQ(cost.collective_us(1), cost.collective_alpha_us);
+  EXPECT_DOUBLE_EQ(cost.collective_us(2), cost.collective_alpha_us);
+  EXPECT_DOUBLE_EQ(cost.collective_us(1024), 10 * cost.collective_alpha_us);
+  // Monotone in P.
+  double prev = 0;
+  for (int p = 1; p <= 4096; p *= 2) {
+    const double c = cost.collective_us(p);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+}
+
+TEST(OpStats, TotalsAndPerProc) {
+  mpism::OpStats stats;
+  stats.init(4);
+  for (int r = 0; r < 4; ++r) {
+    stats.bump(mpism::OpCategory::kSendRecv, r);
+    stats.bump(mpism::OpCategory::kSendRecv, r);
+    stats.bump(mpism::OpCategory::kWait, r);
+  }
+  stats.bump(mpism::OpCategory::kCollective, 0);
+  stats.bump(mpism::OpCategory::kOther, 1);
+  EXPECT_EQ(stats.total(mpism::OpCategory::kSendRecv), 8u);
+  EXPECT_EQ(stats.per_proc(mpism::OpCategory::kSendRecv), 2u);
+  // kOther excluded from the reported total, as in the paper's log.
+  EXPECT_EQ(stats.total_reported(), 13u);
+}
+
+TEST(EpochTrace, SortedOrderIsLcThenRankThenIndex) {
+  core::RunTrace trace;
+  auto add = [&trace](int rank, std::uint64_t nd, std::uint64_t lc) {
+    core::EpochRecord rec;
+    rec.key = core::EpochKey{rank, nd};
+    rec.lc = lc;
+    trace.epochs.push_back(rec);
+  };
+  add(2, 0, 5);
+  add(0, 0, 5);
+  add(1, 0, 3);
+  add(0, 1, 9);
+  const auto sorted = trace.sorted();
+  ASSERT_EQ(sorted.size(), 4u);
+  EXPECT_EQ(sorted[0]->key.rank, 1);          // lc 3
+  EXPECT_EQ(sorted[1]->key.rank, 0);          // lc 5, rank tie-break
+  EXPECT_EQ(sorted[2]->key.rank, 2);          // lc 5
+  EXPECT_EQ(sorted[3]->key.nd_index, 1u);     // lc 9
+}
+
+TEST(Schedule, LookupSemantics) {
+  core::Schedule schedule;
+  EXPECT_TRUE(schedule.empty());
+  EXPECT_EQ(schedule.lookup(core::EpochKey{0, 0}), mpism::kAnySource);
+  schedule.forced[core::EpochKey{1, 2}] = 3;
+  EXPECT_FALSE(schedule.empty());
+  EXPECT_EQ(schedule.lookup(core::EpochKey{1, 2}), 3);
+  EXPECT_EQ(schedule.lookup(core::EpochKey{1, 3}), mpism::kAnySource);
+}
+
+TEST(EpochKey, OrderingIsRankThenIndex) {
+  using core::EpochKey;
+  EXPECT_LT((EpochKey{0, 5}), (EpochKey{1, 0}));
+  EXPECT_LT((EpochKey{1, 0}), (EpochKey{1, 1}));
+  EXPECT_EQ((EpochKey{2, 3}), (EpochKey{2, 3}));
+}
+
+}  // namespace
+}  // namespace dampi

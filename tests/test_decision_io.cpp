@@ -1,0 +1,104 @@
+// Epoch Decisions file round trips and end-to-end replay of saved
+// reproducers.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/decision_io.hpp"
+#include "core/explorer.hpp"
+#include "support/verify_helpers.hpp"
+#include "workloads/patterns.hpp"
+
+namespace dampi::test {
+namespace {
+
+using core::EpochKey;
+using core::Schedule;
+
+TEST(DecisionIo, RoundTrip) {
+  Schedule schedule;
+  schedule.forced[EpochKey{1, 0}] = 2;
+  schedule.forced[EpochKey{1, 7}] = 0;
+  schedule.forced[EpochKey{3, 2}] = 1;
+  const std::string text = core::serialize_schedule(schedule);
+  const auto parsed = core::parse_schedule(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->forced, schedule.forced);
+}
+
+TEST(DecisionIo, EmptyScheduleRoundTrips) {
+  const auto parsed = core::parse_schedule(core::serialize_schedule({}));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->empty());
+}
+
+TEST(DecisionIo, CommentsAndBlankLinesIgnored) {
+  const std::string text =
+      "# dampi-epoch-decisions v1\n"
+      "\n"
+      "# a comment\n"
+      "0 3 1\n"
+      "\n";
+  const auto parsed = core::parse_schedule(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->lookup(EpochKey{0, 3}), 1);
+}
+
+TEST(DecisionIo, RejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(core::parse_schedule("1 0 2\n", &error));  // no header
+  EXPECT_NE(error.find("header"), std::string::npos);
+  EXPECT_FALSE(core::parse_schedule("garbage\n1 0 2\n", &error));
+
+  EXPECT_FALSE(core::parse_schedule(
+      "# dampi-epoch-decisions v1\nnot numbers\n", &error));
+  EXPECT_FALSE(core::parse_schedule(
+      "# dampi-epoch-decisions v1\n-1 0 2\n", &error));
+  EXPECT_FALSE(core::parse_schedule(
+      "# dampi-epoch-decisions v1\n1 0 1\n", &error));  // self-match
+  EXPECT_FALSE(core::parse_schedule(
+      "# dampi-epoch-decisions v1\n1 0 2\n1 0 0\n", &error));  // duplicate
+  EXPECT_NE(error.find("duplicate"), std::string::npos);
+}
+
+TEST(DecisionIo, SaveLoadFile) {
+  Schedule schedule;
+  schedule.forced[EpochKey{2, 5}] = 0;
+  const std::string path = ::testing::TempDir() + "/decisions.txt";
+  ASSERT_TRUE(core::save_schedule(schedule, path));
+  const auto loaded = core::load_schedule(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->forced, schedule.forced);
+  std::remove(path.c_str());
+}
+
+TEST(DecisionIo, LoadMissingFileFails) {
+  std::string error;
+  EXPECT_FALSE(core::load_schedule("/nonexistent/path/x.txt", &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(DecisionIo, SavedReproducerReplaysTheBug) {
+  // Find the fig3 bug, save its reproducer, reload it, replay it.
+  core::ExplorerOptions options = explorer_options(3);
+  core::Explorer explorer(options);
+  const auto result = explorer.explore(workloads::fig3_wildcard_bug);
+  ASSERT_TRUE(result.found_bug());
+
+  const std::string path = ::testing::TempDir() + "/fig3_repro.txt";
+  ASSERT_TRUE(core::save_schedule(result.bugs.back().schedule, path));
+  const auto loaded = core::load_schedule(path);
+  ASSERT_TRUE(loaded.has_value());
+
+  for (int i = 0; i < 5; ++i) {
+    const auto replay =
+        core::run_guided_once(options, *loaded, workloads::fig3_wildcard_bug);
+    ASSERT_FALSE(replay.report.errors.empty()) << "replay " << i;
+    EXPECT_NE(replay.report.errors[0].message.find("x == 33"),
+              std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dampi::test

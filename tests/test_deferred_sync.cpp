@@ -1,0 +1,159 @@
+// The §V fix, implemented from the paper's future-work sketch: a pair of
+// clocks, synchronized at Wait/Test. With it, the Fig. 10 omission
+// pattern becomes detectable and forceable; without it, the monitor can
+// only alert.
+#include <gtest/gtest.h>
+
+#include "support/reference_enumerator.hpp"
+#include "support/verify_helpers.hpp"
+#include "workloads/patterns.hpp"
+
+namespace dampi::test {
+namespace {
+
+using core::ClockMode;
+using core::ExplorerOptions;
+using mpism::kAnySource;
+using mpism::pack;
+using mpism::Proc;
+
+TEST(DeferredSync, PlainLamportMissesFig10Competitor) {
+  ExplorerOptions options = explorer_options(3);
+  options.deferred_clock_sync = false;
+  auto result = run_dampi_once(options, {}, workloads::fig10_unsafe_pattern);
+  ASSERT_TRUE(result.report.completed);
+  const auto* epoch = find_epoch(result.trace, 1, 0);
+  ASSERT_NE(epoch, nullptr);
+  // The barrier propagated the post-epoch clock, so rank 2's send is
+  // (wrongly) classified as causally after the epoch.
+  EXPECT_TRUE(epoch->alternatives.empty());
+  EXPECT_FALSE(result.trace.alerts.empty());  // ...but the monitor warns
+}
+
+TEST(DeferredSync, PairClockFindsFig10Competitor) {
+  ExplorerOptions options = explorer_options(3);
+  options.deferred_clock_sync = true;
+  auto result = run_dampi_once(options, {}, workloads::fig10_unsafe_pattern);
+  ASSERT_TRUE(result.report.completed);
+  const auto* epoch = find_epoch(result.trace, 1, 0);
+  ASSERT_NE(epoch, nullptr);
+  // The barrier carried the *pre-epoch* transmittal clock, so rank 2's
+  // send is late and recorded.
+  EXPECT_EQ(epoch->alternatives.count(2), 1u);
+  // The pattern is handled, so the monitor stays quiet.
+  EXPECT_TRUE(result.trace.alerts.empty());
+}
+
+TEST(DeferredSync, ExplorerForcesTheFig10Bug) {
+  ExplorerOptions options = explorer_options(3);
+  options.deferred_clock_sync = true;
+  core::Explorer explorer(options);
+  auto result = explorer.explore(workloads::fig10_unsafe_pattern);
+  EXPECT_TRUE(result.found_bug());
+  ASSERT_FALSE(result.bugs.empty());
+  EXPECT_FALSE(result.bugs.back().errors.empty());
+  EXPECT_NE(result.bugs.back().errors[0].message.find("x == 33"),
+            std::string::npos);
+}
+
+TEST(DeferredSync, WithoutItTheFig10BugIsMissed) {
+  ExplorerOptions options = explorer_options(3);
+  options.deferred_clock_sync = false;
+  core::Explorer explorer(options);
+  auto result = explorer.explore(workloads::fig10_unsafe_pattern);
+  // The run where the wildcard natively matched rank 0 cannot be
+  // diverted: the competitor was never recorded.
+  EXPECT_FALSE(result.found_bug());
+  EXPECT_FALSE(result.unsafe_alerts.empty());
+}
+
+// Soundness is preserved: the transmittal clock still dominates every
+// *completed* receive, so genuinely-causally-after sends are never
+// classified late.
+TEST(DeferredSync, CausallyAfterSendsStillExcluded) {
+  ExplorerOptions options = explorer_options(3);
+  options.deferred_clock_sync = true;
+  auto result = run_dampi_once(options, {}, [](Proc& p) {
+    constexpr mpism::Tag t = 5;
+    if (p.rank() == 0) {
+      p.send(1, t, pack<int>(1));
+    } else if (p.rank() == 1) {
+      p.recv(kAnySource, t);       // epoch completes here
+      p.send(2, t, pack<int>(2));  // carries the synced (post-epoch) clock
+      p.recv(2, t);
+    } else {
+      p.recv(1, t);
+      p.send(1, t, pack<int>(3));  // genuinely after the epoch
+    }
+  });
+  ASSERT_TRUE(result.report.completed);
+  const auto* epoch = find_epoch(result.trace, 1, 0);
+  ASSERT_NE(epoch, nullptr);
+  EXPECT_TRUE(epoch->alternatives.empty());
+}
+
+// Deferred sync changes nothing on compliant programs: same coverage as
+// the oracle on fig3.
+TEST(DeferredSync, CoverageUnchangedOnCompliantPrograms) {
+  ExplorerOptions plain = explorer_options(3);
+  ExplorerOptions deferred = explorer_options(3);
+  deferred.deferred_clock_sync = true;
+
+  ReferenceEnumerator oracle(plain, workloads::fig3_benign);
+  const auto reachable = oracle.enumerate();
+
+  for (const ExplorerOptions& options : {plain, deferred}) {
+    std::set<OutcomeSignature> seen;
+    core::Explorer explorer(options);
+    explorer.explore(workloads::fig3_benign,
+                     [&seen](const core::RunTrace& trace,
+                             const mpism::RunReport& report,
+                             const core::Schedule&) {
+                       seen.insert(signature_of(trace, report));
+                     });
+    EXPECT_EQ(seen, reachable);
+  }
+}
+
+// Works in vector mode too: a pair of vector clocks.
+TEST(DeferredSync, VectorModePairClocks) {
+  ExplorerOptions options = explorer_options(3);
+  options.clock_mode = ClockMode::kVector;
+  options.deferred_clock_sync = true;
+  core::Explorer explorer(options);
+  auto result = explorer.explore(workloads::fig10_unsafe_pattern);
+  EXPECT_TRUE(result.found_bug());
+}
+
+// A send issued between Irecv(*) and Wait carries the pre-epoch clock.
+TEST(DeferredSync, SendBetweenIrecvAndWaitCarriesOldClock) {
+  ExplorerOptions options = explorer_options(3);
+  options.deferred_clock_sync = true;
+  auto result = run_dampi_once(options, {}, [](Proc& p) {
+    constexpr mpism::Tag t = 1;
+    if (p.rank() == 0) {
+      p.send(1, t, pack<int>(10));
+      p.send(1, 99, pack<int>(0));  // "10 is queued" signal
+    } else if (p.rank() == 1) {
+      p.recv(0, 99);  // ensure the wildcard matches rank 0 deterministically
+      mpism::RequestId r = p.irecv(kAnySource, t);
+      // Send to rank 2 while the wildcard is pending: under deferred
+      // sync this carries the pre-epoch clock.
+      p.send(2, t, pack<int>(11));
+      p.wait(r);
+      p.recv(kAnySource, t);  // drain rank 2's message
+    } else {
+      p.recv(1, t);
+      p.send(1, t, pack<int>(12));
+    }
+  });
+  ASSERT_TRUE(result.report.completed) << result.report.deadlock_detail;
+  const auto* epoch = find_epoch(result.trace, 1, 0);
+  ASSERT_NE(epoch, nullptr);
+  // Rank 2's reply was triggered by a message that predates the epoch's
+  // completion advertisement, so it is concurrent — a potential match.
+  EXPECT_EQ(epoch->alternatives.count(2), 1u);
+}
+
+}  // namespace
+}  // namespace dampi::test

@@ -1,0 +1,251 @@
+// Collective semantics: data movement, relaxed completion, reductions,
+// and misuse detection.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "support/run_helpers.hpp"
+
+namespace dampi::test {
+namespace {
+
+using mpism::Bytes;
+using mpism::pack;
+using mpism::ReduceOp;
+using mpism::unpack;
+using mpism::unpack_vec;
+
+TEST(Collectives, BarrierSynchronizesVirtualTime) {
+  auto report = run_program(4, [](Proc& p) {
+    if (p.rank() == 0) p.compute(5000.0);
+    p.barrier();
+  });
+  EXPECT_TRUE(report.ok());
+  EXPECT_GT(report.vtime_us, 5000.0);  // everyone paid for rank 0's delay
+}
+
+TEST(Collectives, BcastDeliversRootData) {
+  auto report = run_program(4, [](Proc& p) {
+    Bytes data;
+    if (p.rank() == 1) data = pack<int>(1234);
+    p.bcast(&data, /*root=*/1);
+    EXPECT_EQ(unpack<int>(data), 1234);
+  });
+  EXPECT_TRUE(report.ok());
+}
+
+// Relaxed completion: the root of a bcast does not wait for the others
+// (MPI does not require synchronous completion — §II-E of the paper).
+TEST(Collectives, BcastRootDoesNotWaitForLeaves) {
+  auto report = run_program(2, [](Proc& p) {
+    if (p.rank() == 0) {
+      Bytes data = pack<int>(1);
+      p.bcast(&data, 0);
+      // Root proceeds and sends; leaf receives this *before* entering the
+      // bcast — only possible if the root completed early.
+      p.send(1, 9, pack<int>(2));
+    } else {
+      Bytes msg;
+      p.recv(0, 9, &msg);
+      Bytes data;
+      p.bcast(&data, 0);
+      EXPECT_EQ(unpack<int>(data), 1);
+    }
+  });
+  EXPECT_TRUE(report.ok()) << report.deadlock_detail;
+}
+
+// Conversely, a leaf cannot pass a bcast the root never entered.
+TEST(Collectives, BcastLeafWaitsForRoot) {
+  auto report = run_program(2, [](Proc& p) {
+    if (p.rank() == 1) {
+      Bytes data;
+      p.bcast(&data, 0);  // root never calls bcast -> deadlock
+    }
+    // rank 0 returns immediately
+  });
+  EXPECT_TRUE(report.deadlocked);
+}
+
+TEST(Collectives, ReduceSumAtRoot) {
+  auto report = run_program(5, [](Proc& p) {
+    Bytes out = p.reduce(pack<std::uint64_t>(p.rank() + 1),
+                         ReduceOp::kSumU64, /*root=*/2);
+    if (p.rank() == 2) {
+      EXPECT_EQ(unpack<std::uint64_t>(out), 15u);  // 1+2+3+4+5
+    } else {
+      EXPECT_TRUE(out.empty());
+    }
+  });
+  EXPECT_TRUE(report.ok());
+}
+
+TEST(Collectives, AllreduceMax) {
+  auto report = run_program(4, [](Proc& p) {
+    const std::uint64_t result = p.allreduce_u64(
+        static_cast<std::uint64_t>(p.rank() * 7), ReduceOp::kMaxU64);
+    EXPECT_EQ(result, 21u);
+  });
+  EXPECT_TRUE(report.ok());
+}
+
+TEST(Collectives, AllreduceMinDouble) {
+  auto report = run_program(3, [](Proc& p) {
+    const double result =
+        p.allreduce_f64(1.0 / (p.rank() + 1), ReduceOp::kMinF64);
+    EXPECT_DOUBLE_EQ(result, 1.0 / 3.0);
+  });
+  EXPECT_TRUE(report.ok());
+}
+
+TEST(Collectives, ReduceElementwiseVector) {
+  auto report = run_program(3, [](Proc& p) {
+    std::vector<std::uint64_t> contrib = {1, static_cast<std::uint64_t>(p.rank())};
+    Bytes out =
+        p.reduce(mpism::pack_vec(contrib), ReduceOp::kSumU64, /*root=*/0);
+    if (p.rank() == 0) {
+      auto v = unpack_vec<std::uint64_t>(out);
+      ASSERT_EQ(v.size(), 2u);
+      EXPECT_EQ(v[0], 3u);
+      EXPECT_EQ(v[1], 3u);  // 0+1+2
+    }
+  });
+  EXPECT_TRUE(report.ok());
+}
+
+TEST(Collectives, GatherOrdersByRank) {
+  auto report = run_program(4, [](Proc& p) {
+    auto all = p.gather(pack<int>(p.rank() * p.rank()), /*root=*/3);
+    if (p.rank() == 3) {
+      ASSERT_EQ(all.size(), 4u);
+      for (int i = 0; i < 4; ++i) {
+        EXPECT_EQ(unpack<int>(all[static_cast<std::size_t>(i)]), i * i);
+      }
+    } else {
+      EXPECT_TRUE(all.empty());
+    }
+  });
+  EXPECT_TRUE(report.ok());
+}
+
+TEST(Collectives, ScatterDistributesSlices) {
+  auto report = run_program(4, [](Proc& p) {
+    std::vector<Bytes> slices;
+    if (p.rank() == 0) {
+      for (int i = 0; i < 4; ++i) slices.push_back(pack<int>(100 + i));
+    }
+    Bytes mine = p.scatter(std::move(slices), /*root=*/0);
+    EXPECT_EQ(unpack<int>(mine), 100 + p.rank());
+  });
+  EXPECT_TRUE(report.ok());
+}
+
+TEST(Collectives, AllgatherGivesEveryoneEverything) {
+  auto report = run_program(3, [](Proc& p) {
+    auto all = p.allgather(pack<int>(p.rank() + 50));
+    ASSERT_EQ(all.size(), 3u);
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_EQ(unpack<int>(all[static_cast<std::size_t>(i)]), i + 50);
+    }
+  });
+  EXPECT_TRUE(report.ok());
+}
+
+TEST(Collectives, AlltoallTransposes) {
+  auto report = run_program(3, [](Proc& p) {
+    std::vector<Bytes> in;
+    for (int j = 0; j < 3; ++j) in.push_back(pack<int>(p.rank() * 10 + j));
+    auto out = p.alltoall(std::move(in));
+    ASSERT_EQ(out.size(), 3u);
+    for (int j = 0; j < 3; ++j) {
+      // out[j] = rank j's slice for me = j*10 + my_rank
+      EXPECT_EQ(unpack<int>(out[static_cast<std::size_t>(j)]),
+                j * 10 + p.rank());
+    }
+  });
+  EXPECT_TRUE(report.ok());
+}
+
+TEST(Collectives, MismatchedKindsAreAProgramError) {
+  auto report = run_program(2, [](Proc& p) {
+    if (p.rank() == 0) {
+      p.barrier();
+    } else {
+      Bytes b = pack<int>(1);
+      p.bcast(&b, 1);
+    }
+  });
+  EXPECT_FALSE(report.ok());
+  ASSERT_FALSE(report.errors.empty());
+  EXPECT_NE(report.errors[0].message.find("collective mismatch"),
+            std::string::npos);
+}
+
+TEST(Collectives, MismatchedRootsAreAProgramError) {
+  auto report = run_program(2, [](Proc& p) {
+    Bytes b = pack<int>(1);
+    p.bcast(&b, p.rank());  // different roots
+  });
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(Collectives, MismatchedReduceLengthsAreAProgramError) {
+  auto report = run_program(2, [](Proc& p) {
+    std::vector<std::uint64_t> contrib(
+        static_cast<std::size_t>(p.rank() + 1), 1);
+    p.allreduce(mpism::pack_vec(contrib), ReduceOp::kSumU64);
+  });
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(Collectives, InvalidRootIsAProgramError) {
+  auto report = run_program(2, [](Proc& p) {
+    Bytes b;
+    p.bcast(&b, 7);
+  });
+  EXPECT_FALSE(report.ok());
+}
+
+// Back-to-back collectives on the same communicator use distinct
+// generations even when a fast rank races ahead (relaxed completion).
+TEST(Collectives, PipelinedGenerationsDoNotCollide) {
+  auto report = run_program(3, [](Proc& p) {
+    for (int round = 0; round < 20; ++round) {
+      Bytes data;
+      if (p.rank() == 0) data = pack<int>(round);
+      p.bcast(&data, 0);
+      EXPECT_EQ(unpack<int>(data), round);
+    }
+  });
+  EXPECT_TRUE(report.ok());
+}
+
+// Sweep collective correctness across process counts.
+class CollectiveScaleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectiveScaleTest, AllreduceSumMatchesFormula) {
+  const int n = GetParam();
+  auto report = run_program(n, [n](Proc& p) {
+    const std::uint64_t sum = p.allreduce_u64(
+        static_cast<std::uint64_t>(p.rank()), ReduceOp::kSumU64);
+    EXPECT_EQ(sum, static_cast<std::uint64_t>(n) * (n - 1) / 2);
+  });
+  EXPECT_TRUE(report.ok());
+}
+
+TEST_P(CollectiveScaleTest, BarrierLoopTerminates) {
+  const int n = GetParam();
+  auto report = run_program(n, [](Proc& p) {
+    for (int i = 0; i < 10; ++i) p.barrier();
+  });
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.stats.total(mpism::OpCategory::kCollective),
+            static_cast<std::uint64_t>(n) * 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, CollectiveScaleTest,
+                         ::testing::Values(2, 3, 8, 32, 64));
+
+}  // namespace
+}  // namespace dampi::test

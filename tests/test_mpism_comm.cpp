@@ -1,0 +1,175 @@
+// Communicator management: dup, split, free, rank translation, leak
+// accounting (the substrate behind Table II's C-Leak column).
+#include <gtest/gtest.h>
+
+#include "support/run_helpers.hpp"
+
+namespace dampi::test {
+namespace {
+
+using mpism::Bytes;
+using mpism::CommId;
+using mpism::kCommNull;
+using mpism::kCommWorld;
+using mpism::pack;
+using mpism::ReduceOp;
+using mpism::unpack;
+
+TEST(Comm, WorldHasAllRanks) {
+  auto report = run_program(4, [](Proc& p) {
+    EXPECT_EQ(p.comm_size(kCommWorld), 4);
+    EXPECT_EQ(p.comm_rank(kCommWorld), p.rank());
+  });
+  EXPECT_TRUE(report.ok());
+}
+
+TEST(Comm, DupPreservesGroupAndIsolatesTraffic) {
+  auto report = run_program(2, [](Proc& p) {
+    CommId dup = p.comm_dup();
+    EXPECT_NE(dup, kCommWorld);
+    EXPECT_EQ(p.comm_size(dup), 2);
+    EXPECT_EQ(p.comm_rank(dup), p.rank());
+    if (p.rank() == 0) {
+      // Same tag on two communicators: streams do not cross.
+      p.send(1, 5, pack<int>(1), kCommWorld);
+      p.send(1, 5, pack<int>(2), dup);
+    } else {
+      Bytes on_dup, on_world;
+      p.recv(0, 5, &on_dup, dup);
+      p.recv(0, 5, &on_world, kCommWorld);
+      EXPECT_EQ(unpack<int>(on_dup), 2);
+      EXPECT_EQ(unpack<int>(on_world), 1);
+    }
+    p.comm_free(dup);
+  });
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.comm_leaks, 0);
+}
+
+TEST(Comm, SplitGroupsByColor) {
+  auto report = run_program(6, [](Proc& p) {
+    const int color = p.rank() % 2;
+    CommId sub = p.comm_split(color, p.rank());
+    EXPECT_NE(sub, kCommNull);
+    EXPECT_EQ(p.comm_size(sub), 3);
+    EXPECT_EQ(p.comm_rank(sub), p.rank() / 2);  // key order = rank order
+    // Communicate within the split group.
+    const std::uint64_t sum = p.allreduce_u64(
+        static_cast<std::uint64_t>(p.rank()), ReduceOp::kSumU64, sub);
+    EXPECT_EQ(sum, color == 0 ? 6u : 9u);  // 0+2+4 vs 1+3+5
+    p.comm_free(sub);
+  });
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.comm_leaks, 0);
+}
+
+TEST(Comm, SplitKeyControlsOrdering) {
+  auto report = run_program(3, [](Proc& p) {
+    // Reverse the order with descending keys.
+    CommId sub = p.comm_split(0, -p.rank());
+    EXPECT_EQ(p.comm_rank(sub), 2 - p.rank());
+    p.comm_free(sub);
+  });
+  EXPECT_TRUE(report.ok());
+}
+
+TEST(Comm, SplitUndefinedColorGetsNull) {
+  auto report = run_program(4, [](Proc& p) {
+    const int color = p.rank() == 0 ? -1 : 1;
+    CommId sub = p.comm_split(color, 0);
+    if (p.rank() == 0) {
+      EXPECT_EQ(sub, kCommNull);
+    } else {
+      EXPECT_EQ(p.comm_size(sub), 3);
+      p.comm_free(sub);
+    }
+  });
+  EXPECT_TRUE(report.ok());
+}
+
+TEST(Comm, UnfreedCommsAreLeaks) {
+  auto report = run_program(2, [](Proc& p) {
+    p.comm_dup();                 // leaked
+    CommId ok = p.comm_dup();     // freed
+    p.comm_free(ok);
+    p.comm_split(0, p.rank());    // leaked
+  });
+  EXPECT_TRUE(report.completed);
+  EXPECT_EQ(report.comm_leaks, 2);
+}
+
+TEST(Comm, FreeingWorldIsAProgramError) {
+  auto report = run_program(2, [](Proc& p) {
+    if (p.rank() == 0) p.comm_free(kCommWorld);
+  });
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(Comm, UsingFreedCommIsAProgramError) {
+  auto report = run_program(2, [](Proc& p) {
+    CommId dup = p.comm_dup();
+    p.barrier();
+    p.comm_free(dup);
+    if (p.rank() == 0) p.send(1, 1, pack<int>(1), dup);
+  });
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(Comm, NonMemberCannotUseSplitComm) {
+  auto report = run_program(4, [](Proc& p) {
+    CommId sub = p.comm_split(p.rank() < 2 ? 0 : 1, 0);
+    if (p.rank() == 0) {
+      // Rank 2's comm id differs; using rank 0's own sub comm to address
+      // rank 2 (index out of range) is the representative misuse.
+      p.send(1, 1, pack<int>(1), sub);
+      p.recv(1, 2, nullptr, sub);
+    } else if (p.rank() == 1) {
+      p.recv(0, 1, nullptr, sub);
+      p.send(0, 2, pack<int>(1), sub);
+    }
+    p.comm_free(sub);
+  });
+  EXPECT_TRUE(report.ok());
+}
+
+TEST(Comm, WildcardRecvScopedToCommunicator) {
+  auto report = run_program(4, [](Proc& p) {
+    // Ranks 0,1 in one group; 2,3 in another. A wildcard receive on the
+    // subgroup must not see world traffic.
+    CommId sub = p.comm_split(p.rank() / 2, p.rank());
+    if (p.rank() == 0) {
+      p.send(1, 7, pack<int>(11), kCommWorld);  // world message first
+      p.send(1, 7, pack<int>(22), sub);
+    } else if (p.rank() == 1) {
+      p.barrier();
+      Bytes data;
+      mpism::Status st = p.recv(mpism::kAnySource, 7, &data, sub);
+      EXPECT_EQ(unpack<int>(data), 22);
+      EXPECT_EQ(st.source, 0);
+      p.recv(0, 7, &data, kCommWorld);
+      EXPECT_EQ(unpack<int>(data), 11);
+    }
+    if (p.rank() != 1) p.barrier();
+    p.comm_free(sub);
+  });
+  EXPECT_TRUE(report.ok());
+}
+
+// Nested splits: split a split communicator.
+TEST(Comm, NestedSplit) {
+  auto report = run_program(8, [](Proc& p) {
+    CommId half = p.comm_split(p.rank() / 4, p.rank());
+    EXPECT_EQ(p.comm_size(half), 4);
+    CommId quarter = p.comm_split(p.comm_rank(half) / 2, 0, half);
+    EXPECT_EQ(p.comm_size(quarter), 2);
+    const std::uint64_t sum = p.allreduce_u64(1, ReduceOp::kSumU64, quarter);
+    EXPECT_EQ(sum, 2u);
+    p.comm_free(quarter);
+    p.comm_free(half);
+  });
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.comm_leaks, 0);
+}
+
+}  // namespace
+}  // namespace dampi::test

@@ -1,0 +1,69 @@
+// Wildcard match policies — the SELF_RUN "runtime bias" models.
+#include <gtest/gtest.h>
+
+#include "mpism/policy.hpp"
+
+namespace dampi::mpism {
+namespace {
+
+std::vector<MatchCandidate> candidates() {
+  return {
+      {3, 0, 5, 107},  // src 3, seq 5, arrived third
+      {1, 0, 9, 101},  // src 1, seq 9, arrived first
+      {2, 0, 2, 104},  // src 2, seq 2, arrived second
+  };
+}
+
+TEST(Policy, LowestSourceWins) {
+  LowestSourcePolicy policy;
+  const auto c = candidates();
+  EXPECT_EQ(policy.choose(c), 1u);  // src 1
+}
+
+TEST(Policy, FifoArrivalPicksOldestMessage) {
+  FifoArrivalPolicy policy;
+  const auto c = candidates();
+  EXPECT_EQ(policy.choose(c), 1u);  // msg_id 101
+}
+
+TEST(Policy, SeededRandomIsReproducibleAndInRange) {
+  SeededRandomPolicy a(7), b(7), c(8);
+  const auto cands = candidates();
+  bool diverged = false;
+  for (int i = 0; i < 200; ++i) {
+    const auto pick_a = a.choose(cands);
+    EXPECT_EQ(pick_a, b.choose(cands));
+    EXPECT_LT(pick_a, cands.size());
+    if (pick_a != c.choose(cands)) diverged = true;
+  }
+  EXPECT_TRUE(diverged);  // different seeds differ somewhere
+}
+
+TEST(Policy, SeededRandomCoversAllCandidates) {
+  SeededRandomPolicy policy(11);
+  const auto cands = candidates();
+  std::vector<int> hits(cands.size(), 0);
+  for (int i = 0; i < 300; ++i) ++hits[policy.choose(cands)];
+  for (const int h : hits) EXPECT_GT(h, 0);
+}
+
+TEST(Policy, FactoryProducesEachKind) {
+  const auto cands = candidates();
+  EXPECT_EQ(make_policy(PolicyKind::kLowestSource, 0)->choose(cands), 1u);
+  EXPECT_EQ(make_policy(PolicyKind::kFifoArrival, 0)->choose(cands), 1u);
+  EXPECT_LT(make_policy(PolicyKind::kSeededRandom, 5)->choose(cands),
+            cands.size());
+}
+
+TEST(Policy, SingleCandidateAlwaysPicked) {
+  std::vector<MatchCandidate> one = {{4, 2, 0, 55}};
+  LowestSourcePolicy lowest;
+  FifoArrivalPolicy fifo;
+  SeededRandomPolicy random(1);
+  EXPECT_EQ(lowest.choose(one), 0u);
+  EXPECT_EQ(fifo.choose(one), 0u);
+  EXPECT_EQ(random.choose(one), 0u);
+}
+
+}  // namespace
+}  // namespace dampi::mpism

@@ -1,0 +1,170 @@
+// Property-based verification of the verifier itself, over seeded random
+// programs, against the brute-force reachability oracle:
+//
+//   P1 (soundness)        every outcome the explorer visits is reachable
+//                         — in both clock modes;
+//   P2 (completeness)     in vector-clock mode the explorer visits every
+//                         reachable outcome;
+//   P3 (replay fidelity)  guided prefixes reproduce exactly — zero
+//                         prefix mismatches and divergences;
+//   P4 (non-overtaking)   within every explored run, the matches a
+//                         receiver accepts from one sender arrive in
+//                         sequence order;
+//   P5 (drain soundness)  programs that leave messages unreceived still
+//                         satisfy P1/P2 (the finalize drain feeds the
+//                         analysis).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "support/program_gen.hpp"
+#include "support/reference_enumerator.hpp"
+#include "support/verify_helpers.hpp"
+
+namespace dampi::test {
+namespace {
+
+using core::ClockMode;
+using core::ExplorerOptions;
+
+struct SweepCase {
+  std::uint64_t seed;
+  int nprocs;
+  int max_messages;
+  bool leave_unreceived;
+};
+
+void print_case(std::ostream& os, const SweepCase& c) {
+  os << "seed" << c.seed << "_p" << c.nprocs << "_m" << c.max_messages
+     << (c.leave_unreceived ? "_drain" : "");
+}
+
+class RandomProgramSweep : public ::testing::TestWithParam<SweepCase> {
+ protected:
+  GeneratedProgram program() const {
+    const SweepCase& c = GetParam();
+    return generate_program(c.seed, c.nprocs, c.max_messages,
+                            c.leave_unreceived);
+  }
+};
+
+TEST_P(RandomProgramSweep, SoundAndCompleteAgainstOracle) {
+  const GeneratedProgram prog = program();
+  const auto run = [prog](mpism::Proc& p) { run_generated(p, prog); };
+
+  ExplorerOptions vec_options = explorer_options(prog.nprocs);
+  vec_options.clock_mode = ClockMode::kVector;
+  vec_options.max_interleavings = 1u << 14;
+
+  ReferenceEnumerator oracle(vec_options, run);
+  const auto reachable = oracle.enumerate(8192);
+  ASSERT_FALSE(reachable.empty());
+  // Every reachable outcome completes (construction guarantees it).
+  for (const auto& outcome : reachable) {
+    EXPECT_FALSE(outcome.deadlocked);
+    EXPECT_FALSE(outcome.errored);
+  }
+
+  // Vector mode: sound and complete.
+  {
+    std::set<OutcomeSignature> seen;
+    core::Explorer explorer(vec_options);
+    const auto result = explorer.explore(
+        run, [&seen](const core::RunTrace& trace,
+                     const mpism::RunReport& report, const core::Schedule&) {
+          seen.insert(signature_of(trace, report));
+        });
+    EXPECT_FALSE(result.found_bug());
+    EXPECT_EQ(result.prefix_mismatches, 0u);  // P3
+    EXPECT_EQ(result.divergences, 0u);
+    for (const auto& outcome : seen) {
+      EXPECT_EQ(reachable.count(outcome), 1u) << "P1 violated (vector)";
+    }
+    EXPECT_EQ(seen, reachable) << "P2 violated";
+  }
+
+  // Lamport mode: sound (may under-cover on cross-coupled shapes).
+  {
+    ExplorerOptions lam_options = explorer_options(prog.nprocs);
+    lam_options.max_interleavings = 1u << 14;
+    std::set<OutcomeSignature> seen;
+    core::Explorer explorer(lam_options);
+    const auto result = explorer.explore(
+        run, [&seen](const core::RunTrace& trace,
+                     const mpism::RunReport& report, const core::Schedule&) {
+          seen.insert(signature_of(trace, report));
+        });
+    EXPECT_FALSE(result.found_bug());
+    EXPECT_EQ(result.prefix_mismatches, 0u);
+    for (const auto& outcome : seen) {
+      EXPECT_EQ(reachable.count(outcome), 1u) << "P1 violated (lamport)";
+    }
+    EXPECT_LE(seen.size(), reachable.size());
+  }
+}
+
+TEST_P(RandomProgramSweep, NonOvertakingHeldInEveryExploredRun) {
+  const GeneratedProgram prog = program();
+  const auto run = [prog](mpism::Proc& p) { run_generated(p, prog); };
+
+  ExplorerOptions options = explorer_options(prog.nprocs);
+  options.clock_mode = ClockMode::kVector;
+  options.max_interleavings = 1u << 12;
+  core::Explorer explorer(options);
+  explorer.explore(run, [](const core::RunTrace& trace,
+                           const mpism::RunReport& report,
+                           const core::Schedule&) {
+    if (!report.completed) return;
+    // P4: per (receiver, sender), epochs in nd order accept strictly
+    // increasing sequence numbers (all receives share comm + ANY tag, so
+    // every pair of same-channel matches is order-constrained).
+    std::map<std::pair<int, int>, std::uint64_t> last_seq;
+    std::map<int, std::vector<const core::EpochRecord*>> by_rank;
+    for (const auto& e : trace.epochs) by_rank[e.key.rank].push_back(&e);
+    for (auto& [rank, epochs] : by_rank) {
+      std::sort(epochs.begin(), epochs.end(),
+                [](const core::EpochRecord* a, const core::EpochRecord* b) {
+                  return a->key.nd_index < b->key.nd_index;
+                });
+      for (const auto* e : epochs) {
+        if (e->matched_src_world < 0) continue;
+        const auto channel = std::make_pair(rank, e->matched_src_world);
+        auto it = last_seq.find(channel);
+        if (it != last_seq.end()) {
+          EXPECT_GT(e->matched_seq, it->second)
+              << "non-overtaking violated on channel " << e->matched_src_world
+              << " -> " << rank;
+        }
+        last_seq[channel] = e->matched_seq;
+      }
+    }
+  });
+}
+
+std::vector<SweepCase> sweep_cases() {
+  std::vector<SweepCase> cases;
+  for (std::uint64_t seed : {11u, 23u, 47u, 81u, 105u, 733u}) {
+    cases.push_back({seed, 3, 4, false});
+  }
+  for (std::uint64_t seed : {5u, 19u, 42u}) {
+    cases.push_back({seed, 4, 4, false});
+  }
+  // P5: drain variants.
+  for (std::uint64_t seed : {7u, 13u, 29u}) {
+    cases.push_back({seed, 3, 4, true});
+  }
+  return cases;
+}
+
+std::string case_name(const ::testing::TestParamInfo<SweepCase>& info) {
+  std::ostringstream os;
+  print_case(os, info.param);
+  return os.str();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramSweep,
+                         ::testing::ValuesIn(sweep_cases()), case_name);
+
+}  // namespace
+}  // namespace dampi::test

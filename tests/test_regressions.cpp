@@ -1,0 +1,110 @@
+// Regression tests for concurrency bugs found and fixed during
+// development. Each of these was originally a sub-1% flake, so every
+// test hammers its scenario in a loop.
+#include <gtest/gtest.h>
+
+#include "isp/isp_verifier.hpp"
+#include "support/reference_enumerator.hpp"
+#include "support/run_helpers.hpp"
+#include "support/verify_helpers.hpp"
+#include "workloads/patterns.hpp"
+
+namespace dampi::test {
+namespace {
+
+using mpism::Bytes;
+using mpism::pack;
+using mpism::unpack;
+
+// Regression: the deadlock detector once declared a deadlock when the
+// last runner finished while another rank was satisfied but not yet
+// woken (its request had completed but the thread had not re-acquired
+// the lock). The fix re-evaluates every blocked rank's wake predicate at
+// declaration time.
+TEST(Regression, NoFalseDeadlockOnSatisfiedButUnwokenRank) {
+  for (int i = 0; i < 300; ++i) {
+    auto report = run_program(2, [](Proc& p) {
+      const int other = 1 - p.rank();
+      p.send(other, 1, pack<int>(p.rank()));
+      Bytes data;
+      p.recv(other, 1, &data);
+      EXPECT_EQ(unpack<int>(data), other);
+    });
+    ASSERT_TRUE(report.ok()) << "iteration " << i << ": "
+                             << report.deadlock_detail;
+  }
+}
+
+// Regression: the telepathic transport once raced — a receiver could
+// complete and look up the sender's clock before the sender's
+// post-injection hook deposited it, silently losing the potential match
+// (ISP then missed the wildcard-dependent deadlock ~1 run in 50). The
+// fix blocks take() until the deposit.
+TEST(Regression, TelepathicTransportNeverLosesClocks) {
+  for (int i = 0; i < 120; ++i) {
+    isp::IspOptions options;
+    options.explorer.nprocs = 3;
+    options.measure_native = false;
+    isp::IspVerifier verifier(options);
+    const auto result = verifier.verify(workloads::wildcard_dependent_deadlock);
+    ASSERT_TRUE(result.deadlock_found) << "iteration " << i;
+  }
+}
+
+// Regression: alternatives discovered for a prefix epoch in later runs
+// were once dropped, so when the initial self-run happened to take the
+// "other" outcome first, part of the reachable space became unreachable.
+// The fix merges newly revealed prefix alternatives (unbounded mode).
+TEST(Regression, PrefixAlternativesMergedAcrossRuns) {
+  // fig4 under vector clocks must reach all three outcomes from *either*
+  // initial outcome; repeat to cover both initial timings.
+  for (int i = 0; i < 60; ++i) {
+    core::ExplorerOptions options = explorer_options(4);
+    options.clock_mode = core::ClockMode::kVector;
+    std::set<OutcomeSignature> seen;
+    core::Explorer explorer(options);
+    explorer.explore(workloads::fig4_cross_coupled,
+                     [&seen](const core::RunTrace& trace,
+                             const mpism::RunReport& report,
+                             const core::Schedule&) {
+                       seen.insert(signature_of(trace, report));
+                     });
+    ASSERT_EQ(seen.size(), 3u) << "iteration " << i;
+  }
+}
+
+// Regression: an unreceived competitor's piggyback never impinged, so
+// fig3's bug escaped whenever the benign match came first. The
+// finalize-time drain (barrier + probe/receive leftovers) feeds the
+// analysis.
+TEST(Regression, UnreceivedCompetitorAlwaysAnalyzed) {
+  for (int i = 0; i < 120; ++i) {
+    core::ExplorerOptions options = explorer_options(3);
+    core::Explorer explorer(options);
+    const auto result = explorer.explore(workloads::fig3_wildcard_bug);
+    ASSERT_TRUE(result.found_bug()) << "iteration " << i;
+  }
+}
+
+// Regression: a deterministic program must always be exactly one
+// interleaving, whatever the thread timing (checks that raw tool traffic
+// and the finalize barrier never masquerade as ND events).
+TEST(Regression, DeterministicProgramsStayDeterministic) {
+  for (int i = 0; i < 100; ++i) {
+    core::ExplorerOptions options = explorer_options(4);
+    core::Explorer explorer(options);
+    const auto result = explorer.explore([](Proc& p) {
+      const int next = (p.rank() + 1) % p.size();
+      const int prev = (p.rank() + p.size() - 1) % p.size();
+      mpism::RequestId r = p.irecv(prev, 1);
+      p.send(next, 1, pack<int>(p.rank()));
+      p.wait(r);
+      p.barrier();
+    });
+    ASSERT_EQ(result.interleavings, 1u) << "iteration " << i;
+    ASSERT_FALSE(result.found_bug());
+  }
+}
+
+}  // namespace
+}  // namespace dampi::test

@@ -1,0 +1,58 @@
+// Rendering of verification results.
+#include <gtest/gtest.h>
+
+#include "core/report_format.hpp"
+#include "support/verify_helpers.hpp"
+#include "workloads/patterns.hpp"
+
+namespace dampi::test {
+namespace {
+
+TEST(ReportFormat, CleanRun) {
+  core::VerifyOptions options;
+  options.explorer = explorer_options(3);
+  core::Verifier verifier(options);
+  const auto result = verifier.verify(workloads::fig3_benign);
+  const std::string text = core::format_verify_result(result);
+  EXPECT_NE(text.find("interleavings explored : 2"), std::string::npos);
+  EXPECT_NE(text.find("wildcard epochs (R*)   : 2 recv"), std::string::npos);
+  EXPECT_NE(text.find("no deadlock or failure found"), std::string::npos);
+  EXPECT_EQ(text.find("FAILURE"), std::string::npos);
+}
+
+TEST(ReportFormat, BugWithDecisions) {
+  core::VerifyOptions options;
+  options.explorer = explorer_options(3);
+  core::Verifier verifier(options);
+  const auto result = verifier.verify(workloads::fig3_wildcard_bug);
+  ASSERT_TRUE(result.error_found);
+  const std::string text = core::format_verify_result(result);
+  EXPECT_NE(text.find("FAILURE in interleaving"), std::string::npos);
+  EXPECT_NE(text.find("x == 33"), std::string::npos);
+  EXPECT_NE(text.find("epoch decisions to replay it:"), std::string::npos);
+  EXPECT_NE(text.find("-> source"), std::string::npos);
+}
+
+TEST(ReportFormat, DeadlockAndLeaks) {
+  core::VerifyOptions options;
+  options.explorer = explorer_options(3);
+  core::Verifier verifier(options);
+  const auto result =
+      verifier.verify(workloads::wildcard_dependent_deadlock);
+  ASSERT_TRUE(result.deadlock_found);
+  const std::string text = core::format_verify_result(result);
+  EXPECT_NE(text.find("DEADLOCK in interleaving"), std::string::npos);
+  EXPECT_NE(text.find("blocked in"), std::string::npos);
+}
+
+TEST(ReportFormat, AlertsIncluded) {
+  core::VerifyOptions options;
+  options.explorer = explorer_options(3);
+  core::Verifier verifier(options);
+  const auto result = verifier.verify(workloads::fig10_unsafe_pattern);
+  const std::string text = core::format_verify_result(result);
+  EXPECT_NE(text.find("unsafe pattern (S5)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dampi::test
