@@ -171,7 +171,6 @@ bench/CMakeFiles/bench_fig6_matmult.dir/bench_fig6_matmult.cpp.o: \
  /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/isp/../common/stats.hpp \
  /root/repo/src/isp/../common/strutil.hpp \
- /root/repo/src/isp/../core/verifier.hpp \
  /root/repo/src/isp/../core/explorer.hpp /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
@@ -265,6 +264,7 @@ bench/CMakeFiles/bench_fig6_matmult.dir/bench_fig6_matmult.cpp.o: \
  /root/repo/src/isp/../mpism/op_stats.hpp \
  /root/repo/src/isp/../mpism/runtime.hpp \
  /root/repo/src/isp/../mpism/proc.hpp /usr/include/c++/12/span \
+ /root/repo/src/isp/../core/verifier.hpp \
  /root/repo/src/isp/../isp/isp_verifier.hpp \
  /root/repo/src/isp/../isp/isp_layer.hpp \
  /root/repo/src/isp/../workloads/matmult.hpp

@@ -139,6 +139,7 @@ examples/CMakeFiles/adlb_demo.dir/adlb_demo.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
  /usr/include/c++/12/bits/basic_string.tcc \
+ /root/repo/src/isp/../common/stats.hpp \
  /root/repo/src/isp/../core/decision.hpp /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \

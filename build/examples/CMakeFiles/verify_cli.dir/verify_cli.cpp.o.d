@@ -178,6 +178,7 @@ examples/CMakeFiles/verify_cli.dir/verify_cli.cpp.o: \
  /root/repo/src/isp/../core/explorer.hpp /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h \
+ /root/repo/src/isp/../common/stats.hpp \
  /root/repo/src/isp/../core/options.hpp /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \

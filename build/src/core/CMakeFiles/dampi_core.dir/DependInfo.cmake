@@ -13,6 +13,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/core/decision_io.cpp" "src/core/CMakeFiles/dampi_core.dir/decision_io.cpp.o" "gcc" "src/core/CMakeFiles/dampi_core.dir/decision_io.cpp.o.d"
   "/root/repo/src/core/epoch.cpp" "src/core/CMakeFiles/dampi_core.dir/epoch.cpp.o" "gcc" "src/core/CMakeFiles/dampi_core.dir/epoch.cpp.o.d"
   "/root/repo/src/core/explorer.cpp" "src/core/CMakeFiles/dampi_core.dir/explorer.cpp.o" "gcc" "src/core/CMakeFiles/dampi_core.dir/explorer.cpp.o.d"
+  "/root/repo/src/core/replay_pool.cpp" "src/core/CMakeFiles/dampi_core.dir/replay_pool.cpp.o" "gcc" "src/core/CMakeFiles/dampi_core.dir/replay_pool.cpp.o.d"
   "/root/repo/src/core/report_format.cpp" "src/core/CMakeFiles/dampi_core.dir/report_format.cpp.o" "gcc" "src/core/CMakeFiles/dampi_core.dir/report_format.cpp.o.d"
   "/root/repo/src/core/verifier.cpp" "src/core/CMakeFiles/dampi_core.dir/verifier.cpp.o" "gcc" "src/core/CMakeFiles/dampi_core.dir/verifier.cpp.o.d"
   )

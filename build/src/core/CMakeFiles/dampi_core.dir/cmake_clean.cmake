@@ -9,6 +9,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/dampi_core.dir/epoch.cpp.o.d"
   "CMakeFiles/dampi_core.dir/explorer.cpp.o"
   "CMakeFiles/dampi_core.dir/explorer.cpp.o.d"
+  "CMakeFiles/dampi_core.dir/replay_pool.cpp.o"
+  "CMakeFiles/dampi_core.dir/replay_pool.cpp.o.d"
   "CMakeFiles/dampi_core.dir/report_format.cpp.o"
   "CMakeFiles/dampi_core.dir/report_format.cpp.o.d"
   "CMakeFiles/dampi_core.dir/verifier.cpp.o"

@@ -139,6 +139,7 @@ src/core/CMakeFiles/dampi_core.dir/explorer.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
  /usr/include/c++/12/bits/basic_string.tcc \
+ /root/repo/src/core/../common/stats.hpp \
  /root/repo/src/core/../core/decision.hpp /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
@@ -261,16 +262,20 @@ src/core/CMakeFiles/dampi_core.dir/explorer.cpp.o: \
  /root/repo/src/core/../mpism/proc.hpp /usr/include/c++/12/span \
  /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/core/../common/logging.hpp \
  /root/repo/src/core/../core/dampi_layer.hpp /usr/include/c++/12/atomic \
  /root/repo/src/core/../core/clock_state.hpp \
  /root/repo/src/core/../clocks/lamport.hpp \
- /root/repo/src/core/../piggyback/telepathic.hpp \
+ /root/repo/src/core/../core/replay_pool.hpp \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
  /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
- /usr/include/x86_64-linux-gnu/bits/semaphore.h
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/thread \
+ /root/repo/src/core/../piggyback/telepathic.hpp

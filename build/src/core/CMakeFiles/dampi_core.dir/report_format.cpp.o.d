@@ -142,6 +142,7 @@ src/core/CMakeFiles/dampi_core.dir/report_format.cpp.o: \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h \
+ /root/repo/src/core/../common/stats.hpp \
  /root/repo/src/core/../core/decision.hpp /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \

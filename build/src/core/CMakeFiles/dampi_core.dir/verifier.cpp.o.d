@@ -140,6 +140,7 @@ src/core/CMakeFiles/dampi_core.dir/verifier.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
  /usr/include/c++/12/bits/basic_string.tcc \
+ /root/repo/src/core/../common/stats.hpp \
  /root/repo/src/core/../core/decision.hpp /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \

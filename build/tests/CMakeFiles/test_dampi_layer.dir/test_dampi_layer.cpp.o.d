@@ -337,6 +337,7 @@ tests/CMakeFiles/test_dampi_layer.dir/test_dampi_layer.cpp.o: \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/isp/../core/explorer.hpp \
+ /root/repo/src/isp/../common/stats.hpp \
  /root/repo/src/isp/../mpism/report.hpp \
  /root/repo/src/isp/../mpism/op_stats.hpp \
  /root/repo/src/isp/../mpism/runtime.hpp \

@@ -302,6 +302,7 @@ tests/CMakeFiles/test_decision_io.dir/test_decision_io.cpp.o: \
  /root/repo/src/isp/../mpism/types.hpp /usr/include/c++/12/cstring \
  /root/repo/src/isp/../common/check.hpp \
  /root/repo/src/isp/../core/explorer.hpp \
+ /root/repo/src/isp/../common/stats.hpp \
  /root/repo/src/isp/../core/options.hpp \
  /root/repo/src/isp/../mpism/cost_model.hpp /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \

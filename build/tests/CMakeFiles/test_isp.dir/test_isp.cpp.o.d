@@ -296,6 +296,7 @@ tests/CMakeFiles/test_isp.dir/test_isp.cpp.o: \
  /root/repo/src/isp/../isp/isp_verifier.hpp \
  /root/repo/src/isp/../core/verifier.hpp \
  /root/repo/src/isp/../core/explorer.hpp \
+ /root/repo/src/isp/../common/stats.hpp \
  /root/repo/src/isp/../core/decision.hpp \
  /root/repo/src/isp/../core/epoch.hpp /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \

@@ -352,6 +352,7 @@ tests/CMakeFiles/test_kernels.dir/test_kernels.cpp.o: \
  /root/repo/src/isp/../core/decision.hpp \
  /root/repo/src/isp/../core/epoch.hpp \
  /root/repo/src/isp/../core/explorer.hpp \
+ /root/repo/src/isp/../common/stats.hpp \
  /root/repo/src/isp/../core/verifier.hpp \
  /root/repo/src/isp/../piggyback/telepathic.hpp \
  /root/repo/src/isp/../workloads/cg_solver.hpp \

@@ -296,6 +296,7 @@ tests/CMakeFiles/test_report_format.dir/test_report_format.cpp.o: \
  /root/repo/src/isp/../core/report_format.hpp \
  /root/repo/src/isp/../core/verifier.hpp \
  /root/repo/src/isp/../core/explorer.hpp \
+ /root/repo/src/isp/../common/stats.hpp \
  /root/repo/src/isp/../core/decision.hpp \
  /root/repo/src/isp/../core/epoch.hpp /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \

@@ -352,5 +352,6 @@ tests/CMakeFiles/test_vtime.dir/test_vtime.cpp.o: \
  /root/repo/src/isp/../core/decision.hpp \
  /root/repo/src/isp/../core/epoch.hpp \
  /root/repo/src/isp/../core/explorer.hpp \
+ /root/repo/src/isp/../common/stats.hpp \
  /root/repo/src/isp/../core/verifier.hpp \
  /root/repo/src/isp/../piggyback/telepathic.hpp

@@ -13,6 +13,7 @@ include("/root/repo/build/tests/test_mpism_tools[1]_include.cmake")
 include("/root/repo/build/tests/test_mpism_sendmodes[1]_include.cmake")
 include("/root/repo/build/tests/test_dampi_layer[1]_include.cmake")
 include("/root/repo/build/tests/test_explorer[1]_include.cmake")
+include("/root/repo/build/tests/test_explorer_parallel[1]_include.cmake")
 include("/root/repo/build/tests/test_isp[1]_include.cmake")
 include("/root/repo/build/tests/test_workloads[1]_include.cmake")
 include("/root/repo/build/tests/test_deferred_sync[1]_include.cmake")

@@ -4,7 +4,7 @@
 //   verify_cli --list
 //   verify_cli --program fig3 [--procs 3] [--k 1] [--clock vector]
 //              [--max-interleavings 1000] [--deferred-sync]
-//              [--auto-loop N] [--isp]
+//              [--auto-loop N] [--jobs N] [--isp]
 //
 // Programs: the paper's pattern fixtures, matmult, mini-ADLB, the
 // ParMETIS proxy, and every Table II suite entry by name (104.milc, BT,
@@ -79,6 +79,9 @@ int usage(const char* argv0) {
       "  --deferred-sync        enable the par-of-clocks fix for the S5 "
       "pattern\n"
       "  --auto-loop N          automatic loop detection threshold\n"
+      "  --jobs N               replay-worker pool width (default 1; "
+      "results\n"
+      "                         are identical at every width)\n"
       "  --isp                  use the centralized ISP baseline instead\n"
       "  --save-repro FILE      write the first bug's epoch-decisions "
       "file\n"
@@ -100,6 +103,7 @@ int main(int argc, char** argv) {
   std::uint64_t max_interleavings = 4096;
   bool deferred_sync = false;
   int auto_loop = 0;
+  int jobs = 1;
   bool use_isp = false;
   std::string save_repro_path;
   std::string replay_path;
@@ -141,6 +145,14 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage(argv[0]);
       auto_loop = std::atoi(v);
+    } else if (arg == "--jobs") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      jobs = std::atoi(v);
+      if (jobs < 1) {
+        std::printf("--jobs must be >= 1\n");
+        return usage(argv[0]);
+      }
     } else if (arg == "--isp") {
       use_isp = true;
     } else if (arg == "--save-repro") {
@@ -170,6 +182,7 @@ int main(int argc, char** argv) {
   explorer_options.max_interleavings = max_interleavings;
   explorer_options.deferred_clock_sync = deferred_sync;
   explorer_options.auto_loop_threshold = auto_loop;
+  explorer_options.jobs = jobs;
 
   if (!replay_path.empty()) {
     std::string error;

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 gate: the full build + test sweep, then the concurrent explorer
+# tests again under ThreadSanitizer (-DDAMPI_SANITIZE=thread; only the
+# `concurrency`-labelled tests rerun there, so the TSan stage stays fast).
+#
+# Usage: scripts/tier1.sh [--skip-tsan]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+cmake -B build -S .
+cmake --build build -j "${jobs}"
+(cd build && ctest --output-on-failure -j "${jobs}")
+
+if [[ "${1:-}" == "--skip-tsan" ]]; then
+  echo "tier1: skipping ThreadSanitizer stage"
+  exit 0
+fi
+
+cmake -B build-tsan -S . -DDAMPI_SANITIZE=thread
+cmake --build build-tsan -j "${jobs}" --target test_explorer_parallel
+(cd build-tsan && ctest --output-on-failure -L concurrency -j "${jobs}")
+echo "tier1: OK (including TSan concurrency stage)"

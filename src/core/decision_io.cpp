@@ -40,10 +40,19 @@ std::optional<Schedule> parse_schedule(const std::string& text,
       line.pop_back();
     }
     if (line.empty()) continue;
-    if (line[0] == '#') {
-      if (line == kHeader) saw_header = true;
+    // The header must be the first non-blank line: decisions (or stray
+    // comments) before it mean the file is not a decisions file, and
+    // accepting them would silently replay a truncated schedule.
+    if (!saw_header) {
+      if (line != kHeader) {
+        return fail(strfmt(
+            "line %d: first non-blank line must be the '%s' header",
+            line_no, kHeader));
+      }
+      saw_header = true;
       continue;
     }
+    if (line[0] == '#') continue;
     int rank = -1;
     unsigned long long nd = 0;
     int src = -1;
@@ -53,9 +62,9 @@ std::optional<Schedule> parse_schedule(const std::string& text,
     if (rank < 0 || src < 0) {
       return fail(strfmt("line %d: negative rank or source", line_no));
     }
-    if (rank == src) {
-      return fail(strfmt("line %d: a rank cannot match itself", line_no));
-    }
+    // rank == src is legal: mpism permits self-sends, and a wildcard
+    // receive may match one, so reproducer schedules can contain
+    // self-matches.
     const EpochKey key{rank, static_cast<std::uint64_t>(nd)};
     if (schedule.forced.count(key) != 0) {
       return fail(strfmt("line %d: duplicate decision for rank %d nd %llu",

@@ -3,18 +3,25 @@
 #include <algorithm>
 #include <chrono>
 #include <set>
+#include <unordered_set>
 
 #include "common/logging.hpp"
 #include "core/dampi_layer.hpp"
+#include "core/replay_pool.hpp"
 #include "piggyback/telepathic.hpp"
 
 namespace dampi::core {
 namespace {
 
-void collect_alerts(const RunTrace& trace, ExploreResult& result) {
+/// Dedup alerts through a keyed set instead of a linear scan (the vector
+/// in ExploreResult keeps first-seen order for reporting). Called only on
+/// the exploring thread — outcome merging is single-threaded by design,
+/// which is what keeps parallel exploration deterministic.
+void collect_alerts(const RunTrace& trace,
+                    std::unordered_set<std::string>& seen,
+                    ExploreResult& result) {
   for (const UnsafeAlert& alert : trace.alerts) {
-    if (std::find(result.unsafe_alerts.begin(), result.unsafe_alerts.end(),
-                  alert.detail) == result.unsafe_alerts.end()) {
+    if (seen.insert(alert.detail).second) {
       result.unsafe_alerts.push_back(alert.detail);
     }
   }
@@ -86,13 +93,6 @@ SingleRun run_guided_once(const ExplorerOptions& options,
   return outcome;
 }
 
-Explorer::RunOutcome Explorer::run_one(const mpism::ProgramFn& program,
-                                       const Schedule& schedule) {
-  SingleRun run = run_guided_once(options_, schedule, program);
-  return RunOutcome{std::move(run.report), std::move(run.trace),
-                    run.divergences};
-}
-
 void Explorer::extend_stack(const RunTrace& trace, int flip_pos,
                             ExploreResult& result) {
   const auto sorted = trace.sorted();
@@ -160,6 +160,36 @@ void Explorer::extend_stack(const RunTrace& trace, int flip_pos,
   }
 }
 
+Schedule Explorer::schedule_for(int frame_pos, mpism::Rank alt) const {
+  Schedule schedule;
+  for (int j = 0; j < frame_pos; ++j) {
+    const Frame& f = stack_[static_cast<std::size_t>(j)];
+    schedule.forced[f.key] = f.taken_src;
+  }
+  schedule.forced[stack_[static_cast<std::size_t>(frame_pos)].key] = alt;
+  return schedule;
+}
+
+void Explorer::speculate_frontier(ReplayPool& pool,
+                                  const ExploreResult& result) {
+  // Every untried alternative on the stack is a run the sequential walk
+  // is guaranteed to request later with exactly this prefix: taken_src
+  // above a frame cannot change before the frame itself is flipped.
+  // Speculation is therefore only ever wasted when a budget or
+  // stop_on_first_error ends the walk early. Deepest first matches
+  // consumption order; untried is consumed back() first.
+  std::uint64_t planned =
+      result.interleavings + static_cast<std::uint64_t>(pool.outstanding());
+  for (int i = static_cast<int>(stack_.size()) - 1; i >= 0; --i) {
+    const Frame& frame = stack_[static_cast<std::size_t>(i)];
+    for (auto it = frame.untried.rbegin(); it != frame.untried.rend(); ++it) {
+      if (planned + 1 >= options_.max_interleavings) return;
+      if (!pool.speculate(schedule_for(i, *it))) return;
+      ++planned;
+    }
+  }
+}
+
 ExploreResult Explorer::explore(const mpism::ProgramFn& program,
                                 const RunObserver& observer) {
   const auto t0 = std::chrono::steady_clock::now();
@@ -171,9 +201,11 @@ ExploreResult Explorer::explore(const mpism::ProgramFn& program,
 
   ExploreResult result;
   stack_.clear();
+  std::unordered_set<std::string> alert_keys;
+  ReplayPool pool(options_, program);
 
   // Initial SELF_RUN discovery execution.
-  RunOutcome first = run_one(program, Schedule{});
+  SingleRun first = pool.take(Schedule{}, 1);
   result.interleavings = 1;
   result.first_report = first.report;
   result.wildcard_recv_epochs = first.trace.wildcard_recv_epochs;
@@ -182,7 +214,7 @@ ExploreResult Explorer::explore(const mpism::ProgramFn& program,
   result.first_run_vtime_us = first.report.vtime_us;
   result.total_vtime_us += first.report.vtime_us;
   result.divergences += first.divergences;
-  collect_alerts(first.trace, result);
+  collect_alerts(first.trace, alert_keys, result);
   record_bug_if_any(first.report, Schedule{}, first.trace, 1, result);
   if (observer) observer(first.trace, first.report, Schedule{});
   extend_stack(first.trace, /*flip_pos=*/-1, result);
@@ -216,17 +248,14 @@ ExploreResult Explorer::explore(const mpism::ProgramFn& program,
     frame.taken_src = frame.untried.back();
     frame.untried.pop_back();
 
-    Schedule schedule;
-    for (int j = 0; j <= flip; ++j) {
-      const Frame& f = stack_[static_cast<std::size_t>(j)];
-      schedule.forced[f.key] = f.taken_src;
-    }
+    const Schedule schedule = schedule_for(flip, frame.taken_src);
+    if (pool.workers() > 0) speculate_frontier(pool, result);
 
-    RunOutcome outcome = run_one(program, schedule);
+    SingleRun outcome = pool.take(schedule, result.interleavings + 1);
     ++result.interleavings;
     result.total_vtime_us += outcome.report.vtime_us;
     result.divergences += outcome.divergences;
-    collect_alerts(outcome.trace, result);
+    collect_alerts(outcome.trace, alert_keys, result);
     record_bug_if_any(outcome.report, schedule, outcome.trace,
                       result.interleavings, result);
     if (observer) observer(outcome.trace, outcome.report, schedule);
@@ -239,6 +268,8 @@ ExploreResult Explorer::explore(const mpism::ProgramFn& program,
     }
   }
 
+  pool.shutdown();
+  result.pool = pool.stats();
   result.total_wall_seconds = elapsed();
   return result;
 }

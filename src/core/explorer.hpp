@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/stats.hpp"
 #include "core/decision.hpp"
 #include "core/epoch.hpp"
 #include "core/options.hpp"
@@ -21,6 +22,24 @@
 #include "mpism/runtime.hpp"
 
 namespace dampi::core {
+
+class ReplayPool;
+
+/// Aggregate replay-pool observability counters for one explore() call.
+/// Populated for every jobs value (at jobs=1 all runs are inline).
+struct PoolStats {
+  int jobs = 1;
+  std::uint64_t inline_runs = 0;  ///< replays run on the exploring thread
+  std::uint64_t worker_runs = 0;  ///< speculative replays run by workers
+  /// Worker runs the walk consumed / never needed (early stop only).
+  std::uint64_t speculative_hits = 0;
+  std::uint64_t speculative_waste = 0;
+  std::size_t max_in_flight = 0;    ///< peak concurrent replays
+  std::size_t max_queue_depth = 0;  ///< peak speculation backlog
+  /// Per-run histograms over every replay (inline + speculative).
+  Histogram run_wall_seconds{1e-5, 28};
+  Histogram run_vtime_us{1.0, 40};
+};
 
 /// A bug found during exploration, with the decision file that reproduces
 /// the interleaving exposing it.
@@ -53,6 +72,9 @@ struct ExploreResult {
 
   bool interleaving_budget_exhausted = false;
   bool time_budget_exhausted = false;
+
+  /// Replay-pool counters (ExplorerOptions::jobs and friends).
+  PoolStats pool;
 
   bool found_bug() const { return !bugs.empty(); }
 };
@@ -105,18 +127,19 @@ class Explorer {
     int mix_budget = 0;
   };
 
-  struct RunOutcome {
-    mpism::RunReport report;
-    RunTrace trace;
-    std::uint64_t divergences = 0;
-  };
-
-  RunOutcome run_one(const mpism::ProgramFn& program,
-                     const Schedule& schedule);
   /// Append new frames discovered by a run; `flip_pos` is the stack index
   /// that was flipped to trigger it (-1 for the initial run).
   void extend_stack(const RunTrace& trace, int flip_pos,
                     ExploreResult& result);
+
+  /// Prefix of the schedule a flip of stack_[i] would force: decisions of
+  /// frames 0..i-1 plus frame i's key mapped to `alt`.
+  Schedule schedule_for(int frame_pos, mpism::Rank alt) const;
+
+  /// Feed the worker pool every untried alternative currently on the
+  /// stack (deepest first — the order DFS will consume them), up to the
+  /// interleaving budget and the pool's backlog cap.
+  void speculate_frontier(ReplayPool& pool, const ExploreResult& result);
 
   ExplorerOptions options_;
   std::vector<Frame> stack_;

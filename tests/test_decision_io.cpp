@@ -55,10 +55,48 @@ TEST(DecisionIo, RejectsMalformedInput) {
   EXPECT_FALSE(core::parse_schedule(
       "# dampi-epoch-decisions v1\n-1 0 2\n", &error));
   EXPECT_FALSE(core::parse_schedule(
-      "# dampi-epoch-decisions v1\n1 0 1\n", &error));  // self-match
-  EXPECT_FALSE(core::parse_schedule(
       "# dampi-epoch-decisions v1\n1 0 2\n1 0 0\n", &error));  // duplicate
   EXPECT_NE(error.find("duplicate"), std::string::npos);
+}
+
+// mpism permits self-sends, so a wildcard receive can legitimately match
+// its own rank; a saved reproducer containing one must re-load.
+TEST(DecisionIo, SelfMatchRoundTrips) {
+  Schedule schedule;
+  schedule.forced[EpochKey{0, 0}] = 0;  // rank 0 matched its own send
+  schedule.forced[EpochKey{2, 3}] = 2;
+  schedule.forced[EpochKey{2, 4}] = 1;
+  const auto parsed = core::parse_schedule(core::serialize_schedule(schedule));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->forced, schedule.forced);
+
+  std::string error;
+  const auto direct = core::parse_schedule(
+      "# dampi-epoch-decisions v1\n1 0 1\n", &error);
+  ASSERT_TRUE(direct.has_value()) << error;
+  EXPECT_EQ(direct->lookup(EpochKey{1, 0}), 1);
+}
+
+// The header must be the first non-blank line; decision lines before it
+// (or a file whose header appears last) were previously accepted and
+// silently replayed a truncated schedule.
+TEST(DecisionIo, HeaderMustComeFirst) {
+  std::string error;
+  // Decisions before the header.
+  EXPECT_FALSE(core::parse_schedule(
+      "1 0 2\n# dampi-epoch-decisions v1\n", &error));
+  EXPECT_NE(error.find("header"), std::string::npos);
+  // Header last, after all the decisions.
+  EXPECT_FALSE(core::parse_schedule(
+      "0 1 2\n0 2 1\n# dampi-epoch-decisions v1\n", &error));
+  // A stray comment before the header is also not a decisions file.
+  EXPECT_FALSE(core::parse_schedule(
+      "# a comment\n# dampi-epoch-decisions v1\n0 1 2\n", &error));
+  // Leading blank lines are fine.
+  const auto parsed = core::parse_schedule(
+      "\n\n# dampi-epoch-decisions v1\n0 1 2\n", &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->lookup(EpochKey{0, 1}), 2);
 }
 
 TEST(DecisionIo, SaveLoadFile) {
