@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bounding.dir/bench_ablation_bounding.cpp.o"
+  "CMakeFiles/bench_ablation_bounding.dir/bench_ablation_bounding.cpp.o.d"
+  "bench_ablation_bounding"
+  "bench_ablation_bounding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bounding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_clocks.dir/bench_ablation_clocks.cpp.o"
+  "CMakeFiles/bench_ablation_clocks.dir/bench_ablation_clocks.cpp.o.d"
+  "bench_ablation_clocks"
+  "bench_ablation_clocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_clocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

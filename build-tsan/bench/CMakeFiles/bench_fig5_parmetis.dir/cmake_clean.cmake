@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_parmetis.dir/bench_fig5_parmetis.cpp.o"
+  "CMakeFiles/bench_fig5_parmetis.dir/bench_fig5_parmetis.cpp.o.d"
+  "bench_fig5_parmetis"
+  "bench_fig5_parmetis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_parmetis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

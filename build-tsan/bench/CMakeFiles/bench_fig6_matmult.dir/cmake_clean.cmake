@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_matmult.dir/bench_fig6_matmult.cpp.o"
+  "CMakeFiles/bench_fig6_matmult.dir/bench_fig6_matmult.cpp.o.d"
+  "bench_fig6_matmult"
+  "bench_fig6_matmult.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_matmult.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_bounded_mixing.dir/bench_fig8_bounded_mixing.cpp.o"
+  "CMakeFiles/bench_fig8_bounded_mixing.dir/bench_fig8_bounded_mixing.cpp.o.d"
+  "bench_fig8_bounded_mixing"
+  "bench_fig8_bounded_mixing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_bounded_mixing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

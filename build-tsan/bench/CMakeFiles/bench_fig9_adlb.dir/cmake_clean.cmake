@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_adlb.dir/bench_fig9_adlb.cpp.o"
+  "CMakeFiles/bench_fig9_adlb.dir/bench_fig9_adlb.cpp.o.d"
+  "bench_fig9_adlb"
+  "bench_fig9_adlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_adlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adlb_demo.dir/adlb_demo.cpp.o"
+  "CMakeFiles/adlb_demo.dir/adlb_demo.cpp.o.d"
+  "adlb_demo"
+  "adlb_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adlb_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

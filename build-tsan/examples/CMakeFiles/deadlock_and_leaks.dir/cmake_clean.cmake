@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deadlock_and_leaks.dir/deadlock_and_leaks.cpp.o"
+  "CMakeFiles/deadlock_and_leaks.dir/deadlock_and_leaks.cpp.o.d"
+  "deadlock_and_leaks"
+  "deadlock_and_leaks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deadlock_and_leaks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for deadlock_and_leaks.
+# This may be replaced when dependencies are built.

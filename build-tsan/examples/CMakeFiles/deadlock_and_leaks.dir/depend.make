@@ -1,0 +1,2 @@
+# Empty dependencies file for deadlock_and_leaks.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_cli.dir/verify_cli.cpp.o"
+  "CMakeFiles/verify_cli.dir/verify_cli.cpp.o.d"
+  "verify_cli"
+  "verify_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-tsan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("clocks")
+subdirs("mpism")
+subdirs("piggyback")
+subdirs("core")
+subdirs("isp")
+subdirs("workloads")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dampi_clocks.dir/vector_clock.cpp.o"
+  "CMakeFiles/dampi_clocks.dir/vector_clock.cpp.o.d"
+  "libdampi_clocks.a"
+  "libdampi_clocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dampi_clocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dampi_common.dir/logging.cpp.o"
+  "CMakeFiles/dampi_common.dir/logging.cpp.o.d"
+  "CMakeFiles/dampi_common.dir/stats.cpp.o"
+  "CMakeFiles/dampi_common.dir/stats.cpp.o.d"
+  "CMakeFiles/dampi_common.dir/strutil.cpp.o"
+  "CMakeFiles/dampi_common.dir/strutil.cpp.o.d"
+  "libdampi_common.a"
+  "libdampi_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dampi_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

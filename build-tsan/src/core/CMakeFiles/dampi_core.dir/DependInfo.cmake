@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/clock_state.cpp" "src/core/CMakeFiles/dampi_core.dir/clock_state.cpp.o" "gcc" "src/core/CMakeFiles/dampi_core.dir/clock_state.cpp.o.d"
+  "/root/repo/src/core/dampi_layer.cpp" "src/core/CMakeFiles/dampi_core.dir/dampi_layer.cpp.o" "gcc" "src/core/CMakeFiles/dampi_core.dir/dampi_layer.cpp.o.d"
+  "/root/repo/src/core/decision_io.cpp" "src/core/CMakeFiles/dampi_core.dir/decision_io.cpp.o" "gcc" "src/core/CMakeFiles/dampi_core.dir/decision_io.cpp.o.d"
+  "/root/repo/src/core/epoch.cpp" "src/core/CMakeFiles/dampi_core.dir/epoch.cpp.o" "gcc" "src/core/CMakeFiles/dampi_core.dir/epoch.cpp.o.d"
+  "/root/repo/src/core/explorer.cpp" "src/core/CMakeFiles/dampi_core.dir/explorer.cpp.o" "gcc" "src/core/CMakeFiles/dampi_core.dir/explorer.cpp.o.d"
+  "/root/repo/src/core/replay_pool.cpp" "src/core/CMakeFiles/dampi_core.dir/replay_pool.cpp.o" "gcc" "src/core/CMakeFiles/dampi_core.dir/replay_pool.cpp.o.d"
+  "/root/repo/src/core/report_format.cpp" "src/core/CMakeFiles/dampi_core.dir/report_format.cpp.o" "gcc" "src/core/CMakeFiles/dampi_core.dir/report_format.cpp.o.d"
+  "/root/repo/src/core/verifier.cpp" "src/core/CMakeFiles/dampi_core.dir/verifier.cpp.o" "gcc" "src/core/CMakeFiles/dampi_core.dir/verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/mpism/CMakeFiles/mpism.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/piggyback/CMakeFiles/dampi_piggyback.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/clocks/CMakeFiles/dampi_clocks.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/dampi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dampi_core.dir/clock_state.cpp.o"
+  "CMakeFiles/dampi_core.dir/clock_state.cpp.o.d"
+  "CMakeFiles/dampi_core.dir/dampi_layer.cpp.o"
+  "CMakeFiles/dampi_core.dir/dampi_layer.cpp.o.d"
+  "CMakeFiles/dampi_core.dir/decision_io.cpp.o"
+  "CMakeFiles/dampi_core.dir/decision_io.cpp.o.d"
+  "CMakeFiles/dampi_core.dir/epoch.cpp.o"
+  "CMakeFiles/dampi_core.dir/epoch.cpp.o.d"
+  "CMakeFiles/dampi_core.dir/explorer.cpp.o"
+  "CMakeFiles/dampi_core.dir/explorer.cpp.o.d"
+  "CMakeFiles/dampi_core.dir/replay_pool.cpp.o"
+  "CMakeFiles/dampi_core.dir/replay_pool.cpp.o.d"
+  "CMakeFiles/dampi_core.dir/report_format.cpp.o"
+  "CMakeFiles/dampi_core.dir/report_format.cpp.o.d"
+  "CMakeFiles/dampi_core.dir/verifier.cpp.o"
+  "CMakeFiles/dampi_core.dir/verifier.cpp.o.d"
+  "libdampi_core.a"
+  "libdampi_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dampi_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

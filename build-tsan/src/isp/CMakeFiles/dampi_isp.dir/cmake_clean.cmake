@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dampi_isp.dir/isp_verifier.cpp.o"
+  "CMakeFiles/dampi_isp.dir/isp_verifier.cpp.o.d"
+  "libdampi_isp.a"
+  "libdampi_isp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dampi_isp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

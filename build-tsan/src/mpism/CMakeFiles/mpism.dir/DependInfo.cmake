@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpism/comm.cpp" "src/mpism/CMakeFiles/mpism.dir/comm.cpp.o" "gcc" "src/mpism/CMakeFiles/mpism.dir/comm.cpp.o.d"
+  "/root/repo/src/mpism/engine.cpp" "src/mpism/CMakeFiles/mpism.dir/engine.cpp.o" "gcc" "src/mpism/CMakeFiles/mpism.dir/engine.cpp.o.d"
+  "/root/repo/src/mpism/policy.cpp" "src/mpism/CMakeFiles/mpism.dir/policy.cpp.o" "gcc" "src/mpism/CMakeFiles/mpism.dir/policy.cpp.o.d"
+  "/root/repo/src/mpism/proc.cpp" "src/mpism/CMakeFiles/mpism.dir/proc.cpp.o" "gcc" "src/mpism/CMakeFiles/mpism.dir/proc.cpp.o.d"
+  "/root/repo/src/mpism/types.cpp" "src/mpism/CMakeFiles/mpism.dir/types.cpp.o" "gcc" "src/mpism/CMakeFiles/mpism.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/dampi_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/clocks/CMakeFiles/dampi_clocks.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpism.dir/comm.cpp.o"
+  "CMakeFiles/mpism.dir/comm.cpp.o.d"
+  "CMakeFiles/mpism.dir/engine.cpp.o"
+  "CMakeFiles/mpism.dir/engine.cpp.o.d"
+  "CMakeFiles/mpism.dir/policy.cpp.o"
+  "CMakeFiles/mpism.dir/policy.cpp.o.d"
+  "CMakeFiles/mpism.dir/proc.cpp.o"
+  "CMakeFiles/mpism.dir/proc.cpp.o.d"
+  "CMakeFiles/mpism.dir/types.cpp.o"
+  "CMakeFiles/mpism.dir/types.cpp.o.d"
+  "libmpism.a"
+  "libmpism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

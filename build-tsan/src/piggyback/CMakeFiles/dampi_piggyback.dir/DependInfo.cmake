@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/piggyback/factory.cpp" "src/piggyback/CMakeFiles/dampi_piggyback.dir/factory.cpp.o" "gcc" "src/piggyback/CMakeFiles/dampi_piggyback.dir/factory.cpp.o.d"
+  "/root/repo/src/piggyback/packed_payload.cpp" "src/piggyback/CMakeFiles/dampi_piggyback.dir/packed_payload.cpp.o" "gcc" "src/piggyback/CMakeFiles/dampi_piggyback.dir/packed_payload.cpp.o.d"
+  "/root/repo/src/piggyback/separate_message.cpp" "src/piggyback/CMakeFiles/dampi_piggyback.dir/separate_message.cpp.o" "gcc" "src/piggyback/CMakeFiles/dampi_piggyback.dir/separate_message.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/mpism/CMakeFiles/mpism.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/dampi_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/clocks/CMakeFiles/dampi_clocks.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

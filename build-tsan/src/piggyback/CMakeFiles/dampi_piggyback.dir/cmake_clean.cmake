@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dampi_piggyback.dir/factory.cpp.o"
+  "CMakeFiles/dampi_piggyback.dir/factory.cpp.o.d"
+  "CMakeFiles/dampi_piggyback.dir/packed_payload.cpp.o"
+  "CMakeFiles/dampi_piggyback.dir/packed_payload.cpp.o.d"
+  "CMakeFiles/dampi_piggyback.dir/separate_message.cpp.o"
+  "CMakeFiles/dampi_piggyback.dir/separate_message.cpp.o.d"
+  "libdampi_piggyback.a"
+  "libdampi_piggyback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dampi_piggyback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

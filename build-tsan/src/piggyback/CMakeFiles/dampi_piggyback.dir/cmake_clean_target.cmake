@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdampi_piggyback.a"
+)

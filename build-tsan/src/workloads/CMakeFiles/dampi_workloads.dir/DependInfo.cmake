@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/adlb.cpp" "src/workloads/CMakeFiles/dampi_workloads.dir/adlb.cpp.o" "gcc" "src/workloads/CMakeFiles/dampi_workloads.dir/adlb.cpp.o.d"
+  "/root/repo/src/workloads/cg_solver.cpp" "src/workloads/CMakeFiles/dampi_workloads.dir/cg_solver.cpp.o" "gcc" "src/workloads/CMakeFiles/dampi_workloads.dir/cg_solver.cpp.o.d"
+  "/root/repo/src/workloads/matmult.cpp" "src/workloads/CMakeFiles/dampi_workloads.dir/matmult.cpp.o" "gcc" "src/workloads/CMakeFiles/dampi_workloads.dir/matmult.cpp.o.d"
+  "/root/repo/src/workloads/parmetis_proxy.cpp" "src/workloads/CMakeFiles/dampi_workloads.dir/parmetis_proxy.cpp.o" "gcc" "src/workloads/CMakeFiles/dampi_workloads.dir/parmetis_proxy.cpp.o.d"
+  "/root/repo/src/workloads/patterns.cpp" "src/workloads/CMakeFiles/dampi_workloads.dir/patterns.cpp.o" "gcc" "src/workloads/CMakeFiles/dampi_workloads.dir/patterns.cpp.o.d"
+  "/root/repo/src/workloads/skeleton.cpp" "src/workloads/CMakeFiles/dampi_workloads.dir/skeleton.cpp.o" "gcc" "src/workloads/CMakeFiles/dampi_workloads.dir/skeleton.cpp.o.d"
+  "/root/repo/src/workloads/suites.cpp" "src/workloads/CMakeFiles/dampi_workloads.dir/suites.cpp.o" "gcc" "src/workloads/CMakeFiles/dampi_workloads.dir/suites.cpp.o.d"
+  "/root/repo/src/workloads/wavefront.cpp" "src/workloads/CMakeFiles/dampi_workloads.dir/wavefront.cpp.o" "gcc" "src/workloads/CMakeFiles/dampi_workloads.dir/wavefront.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/mpism/CMakeFiles/mpism.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/dampi_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/clocks/CMakeFiles/dampi_clocks.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

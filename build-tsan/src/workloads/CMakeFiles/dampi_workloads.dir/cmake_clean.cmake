@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dampi_workloads.dir/adlb.cpp.o"
+  "CMakeFiles/dampi_workloads.dir/adlb.cpp.o.d"
+  "CMakeFiles/dampi_workloads.dir/cg_solver.cpp.o"
+  "CMakeFiles/dampi_workloads.dir/cg_solver.cpp.o.d"
+  "CMakeFiles/dampi_workloads.dir/matmult.cpp.o"
+  "CMakeFiles/dampi_workloads.dir/matmult.cpp.o.d"
+  "CMakeFiles/dampi_workloads.dir/parmetis_proxy.cpp.o"
+  "CMakeFiles/dampi_workloads.dir/parmetis_proxy.cpp.o.d"
+  "CMakeFiles/dampi_workloads.dir/patterns.cpp.o"
+  "CMakeFiles/dampi_workloads.dir/patterns.cpp.o.d"
+  "CMakeFiles/dampi_workloads.dir/skeleton.cpp.o"
+  "CMakeFiles/dampi_workloads.dir/skeleton.cpp.o.d"
+  "CMakeFiles/dampi_workloads.dir/suites.cpp.o"
+  "CMakeFiles/dampi_workloads.dir/suites.cpp.o.d"
+  "CMakeFiles/dampi_workloads.dir/wavefront.cpp.o"
+  "CMakeFiles/dampi_workloads.dir/wavefront.cpp.o.d"
+  "libdampi_workloads.a"
+  "libdampi_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dampi_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clocks.dir/test_clocks.cpp.o"
+  "CMakeFiles/test_clocks.dir/test_clocks.cpp.o.d"
+  "test_clocks"
+  "test_clocks.pdb"
+  "test_clocks[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dampi_layer.dir/test_dampi_layer.cpp.o"
+  "CMakeFiles/test_dampi_layer.dir/test_dampi_layer.cpp.o.d"
+  "test_dampi_layer"
+  "test_dampi_layer.pdb"
+  "test_dampi_layer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dampi_layer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_decision_io.dir/test_decision_io.cpp.o"
+  "CMakeFiles/test_decision_io.dir/test_decision_io.cpp.o.d"
+  "test_decision_io"
+  "test_decision_io.pdb"
+  "test_decision_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_decision_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

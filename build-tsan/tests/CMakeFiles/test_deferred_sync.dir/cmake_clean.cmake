@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_deferred_sync.dir/test_deferred_sync.cpp.o"
+  "CMakeFiles/test_deferred_sync.dir/test_deferred_sync.cpp.o.d"
+  "test_deferred_sync"
+  "test_deferred_sync.pdb"
+  "test_deferred_sync[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_deferred_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_fuzz.dir/test_engine_fuzz.cpp.o"
+  "CMakeFiles/test_engine_fuzz.dir/test_engine_fuzz.cpp.o.d"
+  "test_engine_fuzz"
+  "test_engine_fuzz.pdb"
+  "test_engine_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_explorer_parallel.dir/test_explorer_parallel.cpp.o"
+  "CMakeFiles/test_explorer_parallel.dir/test_explorer_parallel.cpp.o.d"
+  "test_explorer_parallel"
+  "test_explorer_parallel.pdb"
+  "test_explorer_parallel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_explorer_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_isp.dir/test_isp.cpp.o"
+  "CMakeFiles/test_isp.dir/test_isp.cpp.o.d"
+  "test_isp"
+  "test_isp.pdb"
+  "test_isp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_isp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpism_collectives.dir/test_mpism_collectives.cpp.o"
+  "CMakeFiles/test_mpism_collectives.dir/test_mpism_collectives.cpp.o.d"
+  "test_mpism_collectives"
+  "test_mpism_collectives.pdb"
+  "test_mpism_collectives[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpism_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpism_comm.dir/test_mpism_comm.cpp.o"
+  "CMakeFiles/test_mpism_comm.dir/test_mpism_comm.cpp.o.d"
+  "test_mpism_comm"
+  "test_mpism_comm.pdb"
+  "test_mpism_comm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpism_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

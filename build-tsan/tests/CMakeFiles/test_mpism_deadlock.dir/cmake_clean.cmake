@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpism_deadlock.dir/test_mpism_deadlock.cpp.o"
+  "CMakeFiles/test_mpism_deadlock.dir/test_mpism_deadlock.cpp.o.d"
+  "test_mpism_deadlock"
+  "test_mpism_deadlock.pdb"
+  "test_mpism_deadlock[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpism_deadlock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpism_sendmodes.dir/test_mpism_sendmodes.cpp.o"
+  "CMakeFiles/test_mpism_sendmodes.dir/test_mpism_sendmodes.cpp.o.d"
+  "test_mpism_sendmodes"
+  "test_mpism_sendmodes.pdb"
+  "test_mpism_sendmodes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpism_sendmodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

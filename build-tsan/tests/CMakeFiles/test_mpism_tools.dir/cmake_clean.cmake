@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpism_tools.dir/test_mpism_tools.cpp.o"
+  "CMakeFiles/test_mpism_tools.dir/test_mpism_tools.cpp.o.d"
+  "test_mpism_tools"
+  "test_mpism_tools.pdb"
+  "test_mpism_tools[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpism_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_report_format.dir/test_report_format.cpp.o"
+  "CMakeFiles/test_report_format.dir/test_report_format.cpp.o.d"
+  "test_report_format"
+  "test_report_format.pdb"
+  "test_report_format[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_report_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vtime.dir/test_vtime.cpp.o"
+  "CMakeFiles/test_vtime.dir/test_vtime.cpp.o.d"
+  "test_vtime"
+  "test_vtime.pdb"
+  "test_vtime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/test_clocks[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_mpism_pt2pt[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_mpism_collectives[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_mpism_comm[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_mpism_deadlock[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_mpism_tools[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_mpism_sendmodes[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_dampi_layer[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_explorer[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_explorer_parallel[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_isp[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_deferred_sync[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_auto_loop[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_properties[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_common[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_regressions[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_decision_io[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_kernels[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_engine_fuzz[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_report_format[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_vtime[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_policy[1]_include.cmake")
