@@ -19,6 +19,9 @@
 #include "core/report_format.hpp"
 #include "core/verifier.hpp"
 #include "isp/isp_verifier.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "workloads/adlb.hpp"
 #include "workloads/matmult.hpp"
 #include "workloads/parmetis_proxy.hpp"
@@ -86,7 +89,12 @@ int usage(const char* argv0) {
       "  --save-repro FILE      write the first bug's epoch-decisions "
       "file\n"
       "  --replay FILE          run once under a saved epoch-decisions "
-      "file\n",
+      "file\n"
+      "  --trace FILE           record a Chrome trace_event JSON of the "
+      "run\n"
+      "                         (open in chrome://tracing or Perfetto)\n"
+      "  --trace-capacity N     events retained per lane (default 16384)\n"
+      "  --metrics              print the metrics registry after the run\n",
       argv0, argv0);
   return 2;
 }
@@ -107,6 +115,9 @@ int main(int argc, char** argv) {
   bool use_isp = false;
   std::string save_repro_path;
   std::string replay_path;
+  std::string trace_path;
+  std::size_t trace_capacity = 0;
+  bool print_metrics = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -163,6 +174,16 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage(argv[0]);
       replay_path = v;
+    } else if (arg == "--trace") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      trace_path = v;
+    } else if (arg == "--trace-capacity") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      trace_capacity = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--metrics") {
+      print_metrics = true;
     } else {
       std::printf("unknown option: %s\n", arg.c_str());
       return usage(argv[0]);
@@ -174,6 +195,34 @@ int main(int argc, char** argv) {
     std::printf("unknown or missing --program (try --list)\n");
     return usage(argv[0]);
   }
+
+  if (!trace_path.empty()) {
+    if (!DAMPI_TRACE_ENABLED) {
+      std::printf(
+          "warning: this binary was built with DAMPI_TRACE=OFF; the "
+          "trace will contain no events\n");
+    }
+    if (trace_capacity > 0) {
+      obs::Tracer::instance().set_capacity(trace_capacity);
+    }
+    obs::Tracer::instance().set_enabled(true);
+  }
+  // Emits the trace/metrics on every exit path of the run below.
+  auto finish = [&](int code) {
+    if (!trace_path.empty()) {
+      obs::Tracer::instance().set_enabled(false);
+      if (obs::write_chrome_trace(trace_path)) {
+        std::printf("trace written          : %s\n", trace_path.c_str());
+      } else {
+        std::printf("could not write trace %s\n", trace_path.c_str());
+        code = code == 0 ? 2 : code;
+      }
+    }
+    if (print_metrics) {
+      std::printf("metrics:\n%s", obs::Registry::instance().dump().c_str());
+    }
+    return code;
+  };
 
   core::ExplorerOptions explorer_options;
   explorer_options.nprocs = procs;
@@ -198,7 +247,7 @@ int main(int argc, char** argv) {
     if (run.report.deadlocked) {
       std::printf("DEADLOCK reproduced:\n%s",
                   run.report.deadlock_detail.c_str());
-      return 1;
+      return finish(1);
     }
     if (!run.report.errors.empty()) {
       std::printf("FAILURE reproduced:\n");
@@ -206,11 +255,11 @@ int main(int argc, char** argv) {
         std::printf("  rank %d: %s\n", error_info.rank,
                     error_info.message.c_str());
       }
-      return 1;
+      return finish(1);
     }
     std::printf("run completed cleanly (divergences: %llu)\n",
                 static_cast<unsigned long long>(run.divergences));
-    return 0;
+    return finish(0);
   }
 
   core::VerifyResult result;
@@ -229,7 +278,7 @@ int main(int argc, char** argv) {
   std::printf("program                : %s (%d ranks, %s)\n", name.c_str(),
               procs, use_isp ? "ISP baseline" : "DAMPI");
   std::printf("%s", core::format_verify_result(result).c_str());
-  if (result.exploration.bugs.empty()) return 0;
+  if (result.exploration.bugs.empty()) return finish(0);
   if (!save_repro_path.empty()) {
     if (core::save_schedule(result.exploration.bugs.front().schedule,
                             save_repro_path)) {
@@ -239,5 +288,5 @@ int main(int argc, char** argv) {
       std::printf("could not write %s\n", save_repro_path.c_str());
     }
   }
-  return 1;
+  return finish(1);
 }

@@ -1,5 +1,7 @@
 #!/usr/bin/env bash
-# Tier-1 gate: the full build + test sweep, then the concurrent explorer
+# Tier-1 gate: the full build + test sweep, a trace smoke test (a real
+# workload exported with --trace must validate under trace_check), a
+# DAMPI_TRACE=OFF configure+build check, then the concurrent explorer
 # tests again under ThreadSanitizer (-DDAMPI_SANITIZE=thread; only the
 # `concurrency`-labelled tests rerun there, so the TSan stage stays fast).
 #
@@ -13,12 +15,26 @@ cmake -B build -S .
 cmake --build build -j "${jobs}"
 (cd build && ctest --output-on-failure -j "${jobs}")
 
+# Trace smoke test: a parallel exploration traced end to end must export
+# a valid Chrome trace with a lane per rank (4), per worker (3), and the
+# explorer lane.
+trace_out="build/tier1-trace.json"
+build/examples/verify_cli --program matmult --procs 4 --jobs 4 \
+  --max-interleavings 200 --trace "${trace_out}" > /dev/null
+build/src/obs/trace_check "${trace_out}" --min-lanes 8
+rm -f "${trace_out}"
+
+# The tracer must also compile out cleanly.
+cmake -B build-off -S . -DDAMPI_TRACE=OFF
+cmake --build build-off -j "${jobs}" --target verify_cli trace_check
+echo "tier1: DAMPI_TRACE=OFF build OK"
+
 if [[ "${1:-}" == "--skip-tsan" ]]; then
   echo "tier1: skipping ThreadSanitizer stage"
   exit 0
 fi
 
 cmake -B build-tsan -S . -DDAMPI_SANITIZE=thread
-cmake --build build-tsan -j "${jobs}" --target test_explorer_parallel
-(cd build-tsan && ctest --output-on-failure -L concurrency -j "${jobs}")
-echo "tier1: OK (including TSan concurrency stage)"
+cmake --build build-tsan -j "${jobs}" --target test_explorer_parallel test_obs
+(cd build-tsan && ctest --output-on-failure -L 'concurrency|obs' -j "${jobs}")
+echo "tier1: OK (including TSan concurrency + obs stage)"

@@ -3,6 +3,8 @@
 #include "common/check.hpp"
 #include "common/logging.hpp"
 #include "common/strutil.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace dampi::core {
 
@@ -71,6 +73,18 @@ void DampiLayer::drain_unreceived(mpism::ToolCtx& ctx) {
 void DampiLayer::flush(bool) {
   if (flushed_) return;
   flushed_ = true;
+  static obs::Counter& epochs_recv_metric =
+      obs::Registry::instance().counter("layer.epochs_recv");
+  static obs::Counter& epochs_probe_metric =
+      obs::Registry::instance().counter("layer.epochs_probe");
+  static obs::Counter& potential_metric =
+      obs::Registry::instance().counter("layer.potential_matches");
+  static obs::Counter& late_metric =
+      obs::Registry::instance().counter("layer.late_messages");
+  epochs_recv_metric.add(recv_epoch_count_);
+  epochs_probe_metric.add(probe_epoch_count_);
+  potential_metric.add(potential_count_);
+  late_metric.add(late_count_);
   shared_->sink->flush_rank(std::move(epochs_), std::move(alerts_),
                             recv_epoch_count_, probe_epoch_count_,
                             potential_count_, late_count_);
@@ -132,6 +146,9 @@ EpochRecord& DampiLayer::record_epoch(mpism::CommId comm, mpism::Tag tag,
   } else {
     ++recv_epoch_count_;
   }
+  DAMPI_TEVENT(obs::EventKind::kEpochOpen, obs::Phase::kInstant, rank_,
+               static_cast<std::int32_t>(epochs_.back().key.nd_index), 0,
+               epochs_.back().lc);
   return epochs_.back();
 }
 
@@ -140,6 +157,8 @@ EpochRecord& DampiLayer::record_epoch(mpism::CommId comm, mpism::Tag tag,
 void DampiLayer::pre_isend(mpism::ToolCtx& ctx, mpism::SendCall& call) {
   if (options_.unsafe_monitor) unsafe_check(ctx, "send");
   latch_send_clock_ = transmit_clock().serialize();
+  DAMPI_TEVENT(obs::EventKind::kPiggybackAttach, obs::Phase::kInstant,
+               static_cast<std::int32_t>(latch_send_clock_.size()));
   transport_->on_pre_send(ctx, call, latch_send_clock_);
 }
 
@@ -186,6 +205,9 @@ void DampiLayer::post_wait(mpism::ToolCtx& ctx, mpism::ReqCompletion& c) {
     EpochRecord& epoch = epochs_[it->second];
     epoch.matched_src_world = c.src_world;
     epoch.matched_seq = c.seq;
+    DAMPI_TEVENT(obs::EventKind::kEpochClose, obs::Phase::kInstant, rank_,
+                 static_cast<std::int32_t>(epoch.key.nd_index),
+                 c.src_world, c.seq);
     wildcard_reqs_.erase(it);
     pending_wildcards_.erase(c.id);
     if (options_.deferred_clock_sync) {
@@ -227,6 +249,8 @@ void DampiLayer::find_potential_matches(mpism::ToolCtx& ctx,
         src_world, PotentialMatch{src_world, seq, tag, 0});
     if (inserted) {
       ++potential_count_;
+      DAMPI_TEVENT(obs::EventKind::kLateSend, obs::Phase::kInstant, src_world,
+                   static_cast<std::int32_t>(epoch.key.nd_index), tag, seq);
     } else if (seq < slot->second.seq) {
       slot->second = PotentialMatch{src_world, seq, tag, 0};
     }
@@ -259,6 +283,9 @@ void DampiLayer::post_probe(mpism::ToolCtx& ctx, const mpism::ProbeCall& call,
   EpochRecord& epoch = record_epoch(call.comm, call.tag, /*is_probe=*/true);
   epoch.matched_src_world = ctx.to_world(call.comm, status.source);
   epoch.matched_seq = status.seq;
+  DAMPI_TEVENT(obs::EventKind::kEpochClose, obs::Phase::kInstant, rank_,
+               static_cast<std::int32_t>(epoch.key.nd_index),
+               epoch.matched_src_world, epoch.matched_seq);
   if (options_.deferred_clock_sync) {
     // A probe completes its own epoch; synchronize immediately.
     xmit_clock_.merge_epoch(epoch.lc, epoch.vc);

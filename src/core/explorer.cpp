@@ -8,6 +8,8 @@
 #include "common/logging.hpp"
 #include "core/dampi_layer.hpp"
 #include "core/replay_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "piggyback/telepathic.hpp"
 
 namespace dampi::core {
@@ -156,6 +158,10 @@ void Explorer::extend_stack(const RunTrace& trace, int flip_pos,
         if (frame.seen.insert(src).second) frame.untried.push_back(src);
       }
     }
+    DAMPI_TEVENT(obs::EventKind::kDecisionPush, obs::Phase::kInstant,
+                 frame.key.rank,
+                 static_cast<std::int32_t>(frame.key.nd_index),
+                 static_cast<std::int32_t>(frame.untried.size()));
     stack_.push_back(std::move(frame));
   }
 }
@@ -203,9 +209,11 @@ ExploreResult Explorer::explore(const mpism::ProgramFn& program,
   stack_.clear();
   std::unordered_set<std::string> alert_keys;
   ReplayPool pool(options_, program);
+  DAMPI_TRACE_THREAD_LANE("explore");
 
-  // Initial SELF_RUN discovery execution.
-  SingleRun first = pool.take(Schedule{}, 1);
+  // Initial discovery execution: SELF_RUN unless the caller pinned the
+  // root interleaving through options_.initial_schedule.
+  SingleRun first = pool.take(options_.initial_schedule, 1);
   result.interleavings = 1;
   result.first_report = first.report;
   result.wildcard_recv_epochs = first.trace.wildcard_recv_epochs;
@@ -215,8 +223,9 @@ ExploreResult Explorer::explore(const mpism::ProgramFn& program,
   result.total_vtime_us += first.report.vtime_us;
   result.divergences += first.divergences;
   collect_alerts(first.trace, alert_keys, result);
-  record_bug_if_any(first.report, Schedule{}, first.trace, 1, result);
-  if (observer) observer(first.trace, first.report, Schedule{});
+  record_bug_if_any(first.report, options_.initial_schedule, first.trace, 1,
+                    result);
+  if (observer) observer(first.trace, first.report, options_.initial_schedule);
   extend_stack(first.trace, /*flip_pos=*/-1, result);
 
   const bool stop_now =
@@ -247,6 +256,10 @@ ExploreResult Explorer::explore(const mpism::ProgramFn& program,
     Frame& frame = stack_[static_cast<std::size_t>(flip)];
     frame.taken_src = frame.untried.back();
     frame.untried.pop_back();
+    DAMPI_TEVENT(obs::EventKind::kDecisionPop, obs::Phase::kInstant,
+                 frame.key.rank,
+                 static_cast<std::int32_t>(frame.key.nd_index),
+                 frame.taken_src);
 
     const Schedule schedule = schedule_for(flip, frame.taken_src);
     if (pool.workers() > 0) speculate_frontier(pool, result);
@@ -271,6 +284,18 @@ ExploreResult Explorer::explore(const mpism::ProgramFn& program,
   pool.shutdown();
   result.pool = pool.stats();
   result.total_wall_seconds = elapsed();
+  static obs::Counter& interleavings_metric =
+      obs::Registry::instance().counter("explorer.interleavings");
+  static obs::Counter& explorations_metric =
+      obs::Registry::instance().counter("explorer.explorations");
+  static obs::Counter& bugs_metric =
+      obs::Registry::instance().counter("explorer.bugs");
+  static obs::Counter& divergences_metric =
+      obs::Registry::instance().counter("explorer.divergences");
+  interleavings_metric.add(result.interleavings);
+  explorations_metric.add(1);
+  bugs_metric.add(result.bugs.size());
+  divergences_metric.add(result.divergences);
   return result;
 }
 

@@ -7,6 +7,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/decision.hpp"
 #include "mpism/cost_model.hpp"
 #include "mpism/policy.hpp"
 #include "mpism/tool.hpp"
@@ -82,6 +83,13 @@ struct ExplorerOptions {
   /// Wait then transmits the pre-epoch clock, so the competing send of
   /// Fig. 10 is correctly classified late and the omission disappears.
   bool deferred_clock_sync = false;
+
+  /// Decisions forced onto the *initial* discovery run (normally empty:
+  /// a pure SELF_RUN). Pinning the first run makes exploration
+  /// reproducible on programs whose initial wildcard matching depends on
+  /// OS scheduling — the DFS then enumerates outcomes from a known root
+  /// instead of whichever matching the first native race produced.
+  Schedule initial_schedule;
 
   /// Search budget.
   std::uint64_t max_interleavings = 1u << 20;

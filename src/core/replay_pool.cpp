@@ -4,7 +4,10 @@
 #include <chrono>
 #include <utility>
 
+#include "common/strutil.hpp"
 #include "core/decision_io.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace dampi::core {
 namespace {
@@ -27,7 +30,7 @@ ReplayPool::ReplayPool(const ExplorerOptions& options,
   backlog_cap_ = static_cast<std::size_t>(std::max(4 * workers, 8));
   threads_.reserve(static_cast<std::size_t>(workers));
   for (int i = 0; i < workers; ++i) {
-    threads_.emplace_back([this] { worker_main(); });
+    threads_.emplace_back([this, i] { worker_main(i); });
   }
 }
 
@@ -63,9 +66,21 @@ SingleRun ReplayPool::execute(const Schedule& schedule,
     ++in_flight_;
     stats_.max_in_flight = std::max(stats_.max_in_flight, in_flight_);
   }
+  DAMPI_TEVENT(obs::EventKind::kRun, obs::Phase::kBegin,
+               static_cast<std::int32_t>(speculative), 0, 0, interleaving);
   const double t0 = now_seconds();
   SingleRun run = run_guided_once(options_, schedule, program_);
   const double wall = now_seconds() - t0;
+  DAMPI_TEVENT(obs::EventKind::kRun, obs::Phase::kEnd,
+               static_cast<std::int32_t>(speculative), 0, 0, interleaving);
+  static obs::Counter& worker_runs_metric =
+      obs::Registry::instance().counter("pool.worker_runs");
+  static obs::Counter& inline_runs_metric =
+      obs::Registry::instance().counter("pool.inline_runs");
+  static obs::FixedHistogram& wall_metric =
+      obs::Registry::instance().histogram("pool.run_wall_seconds");
+  (speculative ? worker_runs_metric : inline_runs_metric).add(1);
+  wall_metric.add(wall);
   {
     std::lock_guard<std::mutex> lk(mu_);
     --in_flight_;
@@ -94,7 +109,8 @@ SingleRun ReplayPool::execute(const Schedule& schedule,
   return run;
 }
 
-void ReplayPool::worker_main() {
+void ReplayPool::worker_main(int index) {
+  DAMPI_TRACE_THREAD_LANE(strfmt("worker %d", index));
   std::unique_lock<std::mutex> lk(mu_);
   while (true) {
     cv_work_.wait(lk, [this] { return stop_ || !queue_.empty(); });
@@ -142,6 +158,9 @@ SingleRun ReplayPool::take(const Schedule& schedule,
   entries_.erase(it);
   --done_unconsumed_;
   ++stats_.speculative_hits;
+  static obs::Counter& hits_metric =
+      obs::Registry::instance().counter("pool.speculative_hits");
+  hits_metric.add(1);
   if (options_.run_stats) {
     // Re-announce the consumed run under its deterministic index so a
     // callback watching exploration order sees every interleaving once.
@@ -174,6 +193,14 @@ void ReplayPool::shutdown() {
   }
   for (std::thread& t : threads_) t.join();
   std::lock_guard<std::mutex> lk(mu_);
+  if (done_unconsumed_ > 0) {
+    static obs::Counter& waste_metric =
+        obs::Registry::instance().counter("pool.speculative_waste");
+    waste_metric.add(done_unconsumed_);
+    for (std::size_t i = 0; i < done_unconsumed_; ++i) {
+      DAMPI_TEVENT(obs::EventKind::kRunDiscard, obs::Phase::kInstant);
+    }
+  }
   stats_.speculative_waste += done_unconsumed_;
   done_unconsumed_ = 0;
   entries_.clear();

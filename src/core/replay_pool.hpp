@@ -73,7 +73,7 @@ class ReplayPool {
     SingleRun outcome;
   };
 
-  void worker_main();
+  void worker_main(int index);
   /// Execute one replay (any thread), record its histogram samples, and
   /// deliver the RunStats callback.
   SingleRun execute(const Schedule& schedule, std::uint64_t interleaving,

@@ -8,6 +8,8 @@
 #include "common/check.hpp"
 #include "common/logging.hpp"
 #include "common/strutil.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace dampi::mpism {
 namespace {
@@ -147,11 +149,23 @@ RunReport Engine::run(const ProgramFn& program) {
     report.comm_leaks = comms_.leaked_user_comms();
     report.request_leaks = request_leaks_;
   }
+
+  // Once-per-run registry updates (off every per-op hot path).
+  static obs::Counter& runs_metric =
+      obs::Registry::instance().counter("engine.runs");
+  static obs::Counter& messages_metric =
+      obs::Registry::instance().counter("engine.messages_sent");
+  static obs::Counter& deadlocks_metric =
+      obs::Registry::instance().counter("engine.deadlocks");
+  runs_metric.add(1);
+  messages_metric.add(messages_sent_);
+  if (deadlocked_) deadlocks_metric.add(1);
   return report;
 }
 
 void Engine::rank_thread_main(Rank r, const ProgramFn& program) {
   log::set_thread_rank(r);
+  DAMPI_TRACE_THREAD_LANE(strfmt("rank %d", r));
   PerRank& me = pr(r);
   if (opts_.tools.make_stack) {
     me.tools = opts_.tools.make_stack(r, opts_.nprocs);
@@ -205,8 +219,12 @@ void Engine::blocking_wait(std::unique_lock<std::mutex>& lk, Rank r,
   me.block_desc = std::move(desc);
   me.block_pred = pred;
   ++blocked_count_;
+  DAMPI_TEVENT(obs::EventKind::kBlock, obs::Phase::kBegin, r,
+               static_cast<std::int32_t>(kind));
   maybe_declare_deadlock(r);
   me.cv.wait(lk, [&] { return pred() || aborted_ || deadlocked_; });
+  DAMPI_TEVENT(obs::EventKind::kBlock, obs::Phase::kEnd, r,
+               static_cast<std::int32_t>(kind));
   --blocked_count_;
   me.blocked = false;
   me.block_kind = BlockKind::kNone;
@@ -232,6 +250,7 @@ void Engine::maybe_declare_deadlock(Rank) {
 }
 
 void Engine::declare_deadlock_locked() {
+  DAMPI_TEVENT(obs::EventKind::kDeadlock, obs::Phase::kInstant);
   deadlocked_ = true;
   std::string detail;
   for (Rank r = 0; r < opts_.nprocs; ++r) {
@@ -340,11 +359,15 @@ bool Engine::match_arrival(Rank dst, Envelope&& env) {
     DAMPI_CHECK(found != receiver.reqs.end());
     RequestRecord& rec = *found->second;
     if (compatible(rec, env)) {
+      DAMPI_TEVENT(obs::EventKind::kSendMatch, obs::Phase::kInstant,
+                   env.src_world, env.dst_world, env.tag);
       receiver.posted_recvs.erase(it);
       complete_recv(dst, rec, std::move(env));
       return true;
     }
   }
+  DAMPI_TEVENT(obs::EventKind::kSendQueued, obs::Phase::kInstant,
+               env.src_world, env.dst_world, env.tag);
   receiver.unexpected.push_back(std::move(env));
   // A rank blocked in a probe may now have a matchable message.
   receiver.cv.notify_all();
@@ -434,16 +457,22 @@ RequestId Engine::do_irecv(std::unique_lock<std::mutex>&, Rank r,
       const std::size_t pick =
           cands.size() == 1 ? 0 : policy_->choose(cands);
       DAMPI_CHECK(pick < cands.size());
+      DAMPI_TEVENT(obs::EventKind::kRecvMatch, obs::Phase::kInstant,
+                   cands[pick].src_world, r, cands[pick].tag);
       complete_recv(r, rec_ref, take_unexpected(r, cands[pick].msg_id));
       return id;
     }
   } else {
     const Envelope* env = find_specific(r, src_world, tag, comm);
     if (env != nullptr) {
+      DAMPI_TEVENT(obs::EventKind::kRecvMatch, obs::Phase::kInstant,
+                   env->src_world, r, env->tag);
       complete_recv(r, rec_ref, take_unexpected(r, env->msg_id));
       return id;
     }
   }
+  DAMPI_TEVENT(obs::EventKind::kRecvPost, obs::Phase::kInstant, src_world, 0,
+               tag);
   me.posted_recvs.push_back(id);
   return id;
 }
@@ -880,6 +909,8 @@ CollUserResult Engine::collective_impl(Rank r, CollKind kind, CommId comm,
   std::unique_lock<std::mutex> lk(mu_);
   check_abort(lk);
   validate_comm_member(lk, r, comm);
+  DAMPI_TEVENT(obs::EventKind::kCollective, obs::Phase::kBegin,
+               static_cast<std::int32_t>(kind), comm);
   // Copy what we need: the comm table may grow (reallocate) while we wait.
   const CommRecord comm_rec = comms_.get(comm);
   const int size = comm_rec.size();
@@ -1092,6 +1123,8 @@ CollUserResult Engine::collective_impl(Rank r, CollKind kind, CommId comm,
   if (slot.departed == size) {
     coll_slots_.erase({comm, gen});
   }
+  DAMPI_TEVENT(obs::EventKind::kCollective, obs::Phase::kEnd,
+               static_cast<std::int32_t>(kind), comm);
   return result;
 }
 

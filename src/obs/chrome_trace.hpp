@@ -1,0 +1,29 @@
+// Chrome trace_event exporter plus the validator the CI smoke stage
+// uses. The JSON array format loads directly in chrome://tracing and
+// https://ui.perfetto.dev: one pid ("dampi"), one tid per lane (rank,
+// replay worker, explorer), span events as B/E pairs, instants as "i".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace dampi::obs {
+
+/// Render lane snapshots as a Chrome trace_event JSON array.
+std::string chrome_trace_json(const std::vector<LaneSnapshot>& lanes);
+
+/// Snapshot the global tracer and write the JSON to `path`.
+/// Returns false when the file cannot be written.
+bool write_chrome_trace(const std::string& path);
+
+/// Structural validation of an exported trace: well-formed JSON array
+/// of objects, every event carries name/ph/pid/tid (and ts except
+/// metadata), and per-tid timestamps are monotonically non-decreasing.
+/// On failure returns false and sets `error`. `lanes_out` (optional)
+/// receives the number of distinct non-metadata tids.
+bool validate_chrome_trace(const std::string& json, std::string* error,
+                           std::size_t* lanes_out = nullptr);
+
+}  // namespace dampi::obs

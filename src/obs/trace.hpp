@@ -1,0 +1,227 @@
+// Lock-free per-thread event tracer.
+//
+// Every participating thread (simulated rank, replay worker, the
+// exploring thread) claims a *lane*: a fixed-capacity single-producer
+// ring buffer of POD events stamped with monotonic timestamps. Emitting
+// is wait-free and allocation-free — one relaxed load of the global
+// enable flag, one slot write, one release store — so instrumentation
+// can sit on the engine's matching hot path. The ring keeps the most
+// recent `capacity` events per lane (older ones are overwritten; the
+// drop count is reported at export time).
+//
+// Compile-time gate: when the CMake option DAMPI_TRACE is OFF the emit
+// macros expand to nothing and no call site survives; the library API
+// itself stays available so exporters and tests still link.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#if defined(DAMPI_TRACE) && DAMPI_TRACE
+#define DAMPI_TRACE_ENABLED 1
+#else
+#define DAMPI_TRACE_ENABLED 0
+#endif
+
+namespace dampi::obs {
+
+/// Event taxonomy. Names and argument meanings for the exporter live in
+/// kind_info() — keep the two in sync when adding kinds.
+enum class EventKind : std::uint16_t {
+  // mpism engine (lanes: "rank N")
+  kSendMatch = 0,   ///< send matched a posted receive; a=src b=dst c=tag
+  kSendQueued,      ///< send queued unexpected; a=src b=dst c=tag
+  kRecvPost,        ///< receive posted, no match yet; a=posted_src c=tag
+  kRecvMatch,       ///< receive completed; a=src b=dst c=tag
+  kBlock,           ///< span: rank blocked; a=rank b=BlockKind ordinal
+  kCollective,      ///< span: collective enter..exit; a=kind b=comm
+  kDeadlock,        ///< instant: deadlock declared on this thread
+  // DAMPI layer (lanes: "rank N")
+  kEpochOpen,       ///< wildcard epoch recorded; a=rank b=nd_index
+  kEpochClose,      ///< epoch bound to its match; a=rank b=nd_index c=src
+  kLateSend,        ///< potential match recorded; a=src b=nd c=tag d=seq
+  kPiggybackAttach, ///< clock attached to outgoing send; a=clock bytes
+  // explorer / replay pool (lanes: "explore", "worker N")
+  kDecisionPush,    ///< DFS frame added; a=rank b=nd_index c=alternatives
+  kDecisionPop,     ///< DFS frame flipped; a=rank b=nd_index c=forced src
+  kRun,             ///< span: one replay; a=speculative d=interleaving
+  kRunDiscard,      ///< instant: speculative result dropped at shutdown
+  kKindCount
+};
+
+enum class Phase : std::uint8_t { kInstant = 0, kBegin, kEnd };
+
+/// Exporter-facing description of an EventKind.
+struct KindInfo {
+  const char* name;     ///< Chrome trace event name
+  const char* args[4];  ///< labels for a, b, c, d (nullptr = unused)
+};
+const KindInfo& kind_info(EventKind kind);
+
+/// POD event record; 32 bytes, written in place in the ring.
+struct TraceEvent {
+  std::uint64_t ts_ns = 0;  ///< monotonic, since process trace origin
+  EventKind kind = EventKind::kKindCount;
+  Phase phase = Phase::kInstant;
+  std::int32_t a = 0;
+  std::int32_t b = 0;
+  std::int32_t c = 0;
+  std::uint64_t d = 0;
+};
+
+/// Nanoseconds since the process-wide trace origin (first use).
+std::uint64_t trace_now_ns();
+
+/// One single-producer ring buffer. The owning thread emits; snapshots
+/// happen under the tracer registry lock once the owner is quiescent
+/// (released the lane or stopped emitting).
+class Lane {
+ public:
+  Lane(std::string name, std::size_t capacity_pow2);
+
+  const std::string& name() const { return name_; }
+
+  /// Wait-free append (owner thread only).
+  void emit(EventKind kind, Phase phase, std::int32_t a, std::int32_t b,
+            std::int32_t c, std::uint64_t d) {
+    const std::uint64_t h = head_.load(std::memory_order_relaxed);
+    TraceEvent& slot = ring_[h & mask_];
+    slot.ts_ns = trace_now_ns();
+    slot.kind = kind;
+    slot.phase = phase;
+    slot.a = a;
+    slot.b = b;
+    slot.c = c;
+    slot.d = d;
+    head_.store(h + 1, std::memory_order_release);
+  }
+
+  std::uint64_t emitted() const {
+    return head_.load(std::memory_order_acquire);
+  }
+  std::size_t capacity() const { return ring_.size(); }
+
+  /// Oldest-to-newest copy of the retained window.
+  std::vector<TraceEvent> events() const;
+
+ private:
+  std::string name_;
+  std::vector<TraceEvent> ring_;
+  std::uint64_t mask_;
+  std::atomic<std::uint64_t> head_{0};
+};
+
+/// Copy of one lane for export/analysis.
+struct LaneSnapshot {
+  std::string name;
+  std::uint64_t emitted = 0;  ///< total events ever (>= events.size())
+  std::vector<TraceEvent> events;
+};
+
+/// Process-wide lane registry. Lanes are recycled by name: a thread
+/// claiming "rank 0" reuses the lane a previous run's rank 0 released,
+/// so sequential replays share lanes while concurrent ones get their
+/// own (exported as separate Chrome-trace tids with the same label).
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  /// Runtime switch consulted by the emit macros (relaxed load).
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Events retained per lane; applies to lanes created afterwards.
+  /// Rounded up to a power of two.
+  void set_capacity(std::size_t events);
+
+  /// Claim a lane for the calling thread (nullptr when tracing is
+  /// disabled — threads started while off stay unobserved).
+  Lane* acquire(std::string name);
+  void release(Lane* lane);
+
+  /// Copies of every lane ever created, in creation (tid) order. Call
+  /// at quiescence for exact results; concurrent emitters at most
+  /// contribute a clipped tail.
+  std::vector<LaneSnapshot> snapshot() const;
+
+  /// Drop all lanes (test isolation; no lane may be claimed).
+  void reset();
+
+ private:
+  Tracer() = default;
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Lane>> lanes_;  ///< index == exported tid
+  std::vector<Lane*> free_;
+  std::size_t capacity_ = 1u << 14;
+  std::atomic<bool> enabled_{false};
+};
+
+namespace detail {
+extern thread_local Lane* tls_lane;
+}  // namespace detail
+
+inline bool trace_on() {
+#if DAMPI_TRACE_ENABLED
+  return Tracer::instance().enabled();
+#else
+  return false;
+#endif
+}
+
+/// Emit into the calling thread's lane (no-op for unclaimed threads).
+inline void emit(EventKind kind, Phase phase, std::int32_t a = 0,
+                 std::int32_t b = 0, std::int32_t c = 0,
+                 std::uint64_t d = 0) {
+  Lane* lane = detail::tls_lane;
+  if (lane != nullptr) lane->emit(kind, phase, a, b, c, d);
+}
+
+/// RAII lane claim for the calling thread; restores any previous claim.
+class ThreadLane {
+ public:
+  explicit ThreadLane(std::string name);
+  ~ThreadLane();
+
+  ThreadLane(const ThreadLane&) = delete;
+  ThreadLane& operator=(const ThreadLane&) = delete;
+
+ private:
+  Lane* lane_ = nullptr;
+  Lane* prev_ = nullptr;
+};
+
+}  // namespace dampi::obs
+
+// Hot-path emit macros: compiled out entirely under DAMPI_TRACE=OFF
+// (arguments are never evaluated), one relaxed load + branch when
+// compiled in but disabled at runtime.
+#if DAMPI_TRACE_ENABLED
+#define DAMPI_TEVENT(kind, phase, ...)                              \
+  do {                                                              \
+    if (::dampi::obs::trace_on()) {                                 \
+      ::dampi::obs::emit((kind), (phase)__VA_OPT__(, ) __VA_ARGS__); \
+    }                                                               \
+  } while (0)
+#define DAMPI_TRACE_THREAD_LANE(name_expr) \
+  ::dampi::obs::ThreadLane dampi_obs_thread_lane_ {(name_expr)}
+#else
+// Arguments are typechecked but never evaluated (unevaluated sizeof
+// operand), so variables used only for tracing don't warn under OFF.
+#define DAMPI_TEVENT(kind, phase, ...)                                        \
+  do {                                                                        \
+    (void)sizeof(                                                             \
+        (::dampi::obs::emit((kind), (phase)__VA_OPT__(, ) __VA_ARGS__), 0));  \
+  } while (0)
+#define DAMPI_TRACE_THREAD_LANE(name_expr) \
+  do {                                     \
+    (void)sizeof(name_expr);               \
+  } while (0)
+#endif

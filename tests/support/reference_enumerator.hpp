@@ -45,6 +45,22 @@ inline OutcomeSignature signature_of(const core::RunTrace& trace,
   return sig;
 }
 
+/// Outcomes DAMPI's explorer visits (completed runs and failed ones).
+inline std::set<OutcomeSignature> explored_outcomes(
+    const core::ExplorerOptions& options, const mpism::ProgramFn& program,
+    core::ExploreResult* out = nullptr) {
+  std::set<OutcomeSignature> outcomes;
+  core::Explorer explorer(options);
+  auto result = explorer.explore(
+      program,
+      [&outcomes](const core::RunTrace& trace, const mpism::RunReport& report,
+                  const core::Schedule&) {
+        outcomes.insert(signature_of(trace, report));
+      });
+  if (out != nullptr) *out = std::move(result);
+  return outcomes;
+}
+
 class ReferenceEnumerator {
  public:
   ReferenceEnumerator(core::ExplorerOptions options, mpism::ProgramFn program)
