@@ -85,6 +85,14 @@ int usage(const char* argv0) {
       "  --jobs N               replay-worker pool width (default 1; "
       "results\n"
       "                         are identical at every width)\n"
+      "  --sched KIND           rank scheduler: thread (OS thread per "
+      "rank),\n"
+      "                         coop / coop-rr, coop-random, coop-priority\n"
+      "                         (deterministic run-to-block fibers; "
+      "default\n"
+      "                         thread, or $DAMPI_SCHED when set)\n"
+      "  --sched-seed N         seed for coop-random / coop-priority "
+      "picks\n"
       "  --isp                  use the centralized ISP baseline instead\n"
       "  --save-repro FILE      write the first bug's epoch-decisions "
       "file\n"
@@ -112,6 +120,7 @@ int main(int argc, char** argv) {
   bool deferred_sync = false;
   int auto_loop = 0;
   int jobs = 1;
+  mpism::SchedOptions sched = mpism::default_sched_options();
   bool use_isp = false;
   std::string save_repro_path;
   std::string replay_path;
@@ -164,6 +173,17 @@ int main(int argc, char** argv) {
         std::printf("--jobs must be >= 1\n");
         return usage(argv[0]);
       }
+    } else if (arg == "--sched") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      if (!mpism::parse_sched_spec(v, &sched)) {
+        std::printf("unknown --sched value: %s\n", v);
+        return usage(argv[0]);
+      }
+    } else if (arg == "--sched-seed") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      sched.seed = std::strtoull(v, nullptr, 10);
     } else if (arg == "--isp") {
       use_isp = true;
     } else if (arg == "--save-repro") {
@@ -232,6 +252,7 @@ int main(int argc, char** argv) {
   explorer_options.deferred_clock_sync = deferred_sync;
   explorer_options.auto_loop_threshold = auto_loop;
   explorer_options.jobs = jobs;
+  explorer_options.sched = sched;
 
   if (!replay_path.empty()) {
     std::string error;
@@ -275,8 +296,9 @@ int main(int argc, char** argv) {
     result = verifier.verify(it->second);
   }
 
-  std::printf("program                : %s (%d ranks, %s)\n", name.c_str(),
-              procs, use_isp ? "ISP baseline" : "DAMPI");
+  std::printf("program                : %s (%d ranks, %s, sched %s)\n",
+              name.c_str(), procs, use_isp ? "ISP baseline" : "DAMPI",
+              mpism::sched_spec(sched).c_str());
   std::printf("%s", core::format_verify_result(result).c_str());
   if (result.exploration.bugs.empty()) return finish(0);
   if (!save_repro_path.empty()) {

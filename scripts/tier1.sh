@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
-# Tier-1 gate: the full build + test sweep, a trace smoke test (a real
-# workload exported with --trace must validate under trace_check), a
-# DAMPI_TRACE=OFF configure+build check, then the concurrent explorer
+# Tier-1 gate: the full build + test sweep (once under the default
+# thread-per-rank scheduler, once with DAMPI_SCHED=coop so every test
+# also runs on the cooperative fiber scheduler), a trace smoke test (a
+# real workload exported with --trace must validate under trace_check),
+# a DAMPI_TRACE=OFF configure+build check, then the concurrent explorer
 # tests again under ThreadSanitizer (-DDAMPI_SANITIZE=thread; only the
-# `concurrency`-labelled tests rerun there, so the TSan stage stays fast).
+# `concurrency`-labelled tests rerun there, so the TSan stage stays
+# fast; coop fibers are unsupported under TSan and fall back to the
+# thread scheduler, which is exactly the path TSan can check).
 #
 # Usage: scripts/tier1.sh [--skip-tsan]
 set -euo pipefail
@@ -14,6 +18,12 @@ jobs="$(nproc 2>/dev/null || echo 2)"
 cmake -B build -S .
 cmake --build build -j "${jobs}"
 (cd build && ctest --output-on-failure -j "${jobs}")
+
+# The whole suite again under the cooperative scheduler: DAMPI_SCHED
+# switches the default SchedOptions every engine picks up, so any test
+# not pinning a scheduler reruns on coop fibers.
+(cd build && DAMPI_SCHED=coop ctest --output-on-failure -j "${jobs}")
+echo "tier1: coop-scheduler sweep OK"
 
 # Trace smoke test: a parallel exploration traced end to end must export
 # a valid Chrome trace with a lane per rank (4), per worker (3), and the

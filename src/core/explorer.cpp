@@ -81,6 +81,7 @@ SingleRun run_guided_once(const ExplorerOptions& options,
   run_options.cost = options.cost;
   run_options.policy = options.policy;
   run_options.policy_seed = options.policy_seed;
+  run_options.sched = options.sched;
   run_options.tools = make_dampi_setup(shared, board);
 
   SingleRun outcome;

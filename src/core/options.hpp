@@ -10,6 +10,7 @@
 #include "core/decision.hpp"
 #include "mpism/cost_model.hpp"
 #include "mpism/policy.hpp"
+#include "mpism/scheduler.hpp"
 #include "mpism/tool.hpp"
 #include "piggyback/transport.hpp"
 
@@ -89,7 +90,17 @@ struct ExplorerOptions {
   /// reproducible on programs whose initial wildcard matching depends on
   /// OS scheduling — the DFS then enumerates outcomes from a known root
   /// instead of whichever matching the first native race produced.
+  /// Under a coop scheduler (`sched.kind == kCoop`) discovery runs are
+  /// deterministic by construction, so this pin is optional; when
+  /// supplied it is still honored exactly.
   Schedule initial_schedule;
+
+  /// Rank execution model for every run this exploration performs
+  /// (discovery and replays alike). Thread-per-rank reproduces the
+  /// original engine; coop fibers make each run a deterministic function
+  /// of (program, schedule, sched policy, sched seed) and scale to
+  /// hundreds of ranks on one core. Defaults honor DAMPI_SCHED.
+  mpism::SchedOptions sched = mpism::default_sched_options();
 
   /// Search budget.
   std::uint64_t max_interleavings = 1u << 20;

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <chrono>
 #include <map>
-#include <thread>
 
 #include "common/check.hpp"
 #include "common/logging.hpp"
@@ -119,18 +118,22 @@ Engine::Engine(RunOptions options) : opts_(std::move(options)) {
   comms_.init(opts_.nprocs);
   policy_ = make_policy(opts_.policy, opts_.policy_seed);
   stats_.init(opts_.nprocs);
+  sched_ = make_scheduler(opts_.sched, opts_.nprocs);
 }
 
 Engine::~Engine() = default;
 
 RunReport Engine::run(const ProgramFn& program) {
   const auto t0 = std::chrono::steady_clock::now();
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(opts_.nprocs));
-  for (Rank r = 0; r < opts_.nprocs; ++r) {
-    threads.emplace_back([this, r, &program] { rank_thread_main(r, program); });
-  }
-  for (auto& t : threads) t.join();
+  RankScheduler::Callbacks cb;
+  cb.body = [this, &program](Rank r) { rank_body(r, program); };
+  cb.wake_ready = [this](Rank r) {
+    const PerRank& p = pr(r);
+    return p.block_pred && p.block_pred();
+  };
+  cb.stop = [this] { return aborted_ || deadlocked_; };
+  cb.on_stall = [this] { declare_deadlock_locked(); };
+  sched_->run(mu_, cb);
 
   RunReport report;
   report.completed = !aborted_ && !deadlocked_;
@@ -163,9 +166,7 @@ RunReport Engine::run(const ProgramFn& program) {
   return report;
 }
 
-void Engine::rank_thread_main(Rank r, const ProgramFn& program) {
-  log::set_thread_rank(r);
-  DAMPI_TRACE_THREAD_LANE(strfmt("rank %d", r));
+void Engine::rank_body(Rank r, const ProgramFn& program) {
   PerRank& me = pr(r);
   if (opts_.tools.make_stack) {
     me.tools = opts_.tools.make_stack(r, opts_.nprocs);
@@ -222,7 +223,7 @@ void Engine::blocking_wait(std::unique_lock<std::mutex>& lk, Rank r,
   DAMPI_TEVENT(obs::EventKind::kBlock, obs::Phase::kBegin, r,
                static_cast<std::int32_t>(kind));
   maybe_declare_deadlock(r);
-  me.cv.wait(lk, [&] { return pred() || aborted_ || deadlocked_; });
+  sched_->block(lk, r);
   DAMPI_TEVENT(obs::EventKind::kBlock, obs::Phase::kEnd, r,
                static_cast<std::int32_t>(kind));
   --blocked_count_;
@@ -236,6 +237,12 @@ void Engine::blocking_wait(std::unique_lock<std::mutex>& lk, Rank r,
 }
 
 void Engine::maybe_declare_deadlock(Rank) {
+  // Schedulers that run ranks to their blocking point detect stalls
+  // exactly (no runnable candidate anywhere); the count below would
+  // misfire there, because a runnable-but-unscheduled rank is neither
+  // blocked nor finished — at large nprocs the last scheduled rank
+  // blocking must not read "everyone is stuck".
+  if (sched_->detects_stall()) return;
   if (blocked_count_ + finished_count_ != opts_.nprocs || aborted_ ||
       deadlocked_) {
     return;
@@ -260,12 +267,12 @@ void Engine::declare_deadlock_locked() {
     }
   }
   deadlock_detail_ = detail;
-  for (auto& p : ranks_) p->cv.notify_all();
+  sched_->wake_all();
 }
 
 void Engine::abort_all_locked() {
   aborted_ = true;
-  for (auto& p : ranks_) p->cv.notify_all();
+  sched_->wake_all();
 }
 
 void Engine::throw_program_error(std::unique_lock<std::mutex>& lk, Rank r,
@@ -370,7 +377,7 @@ bool Engine::match_arrival(Rank dst, Envelope&& env) {
                env.src_world, env.dst_world, env.tag);
   receiver.unexpected.push_back(std::move(env));
   // A rank blocked in a probe may now have a matchable message.
-  receiver.cv.notify_all();
+  sched_->wake(dst);
   return false;
 }
 
@@ -384,12 +391,12 @@ void Engine::complete_recv(Rank r, RequestRecord& rec, Envelope&& env) {
       it->second->complete = true;
       it->second->complete_vtime =
           std::max(pr(r).vtime, env.arrival_vtime) + opts_.cost.latency_us;
-      sender.cv.notify_all();
+      sched_->wake(env.sender_world);
     }
   }
   rec.complete = true;
   rec.msg = std::move(env);
-  pr(r).cv.notify_all();
+  sched_->wake(r);
 }
 
 std::vector<MatchCandidate> Engine::wildcard_candidates(Rank r, Tag tag,
@@ -644,7 +651,13 @@ bool Engine::api_test(Rank r, RequestId req, Status* status, Bytes* out) {
   }
   stats_.bump(OpCategory::kWait, r);
   pr(r).vtime += opts_.cost.local_op_us;
-  if (!it->second->complete) return false;
+  if (!it->second->complete) {
+    // A failed poll is a scheduling point: under run-to-block execution
+    // the polling rank must cede the host or a test loop starves the
+    // very ranks that would complete the request.
+    sched_->yield(lk, r);
+    return false;
+  }
   Status st = finish_request(lk, r, req, out, /*run_hooks=*/true);
   if (status != nullptr) *status = st;
   return true;
@@ -722,7 +735,10 @@ bool Engine::api_testall(Rank r, std::span<RequestId> reqs) {
     if (it == pr(r).reqs.end()) {
       throw_program_error(lk, r, "testall on invalid or consumed request");
     }
-    if (!it->second->complete) return false;  // MPI: consume all or none
+    if (!it->second->complete) {  // MPI: consume all or none
+      sched_->yield(lk, r);
+      return false;
+    }
   }
   for (RequestId& req : reqs) {
     if (req == kNullRequest) continue;
@@ -752,6 +768,7 @@ std::size_t Engine::api_testany(Rank r, std::span<RequestId> reqs,
       return i;
     }
   }
+  sched_->yield(lk, r);
   return reqs.size();
 }
 
@@ -783,6 +800,8 @@ Status Engine::api_probe(Rank r, Rank src, Tag tag, CommId comm, bool* flag) {
         strfmt("probe(src=%d tag=%d comm=%d)", call.src, call.tag, call.comm);
     blocking_wait(lk, r, BlockKind::kProbe, desc, exists);
     found = true;
+  } else if (!found) {
+    sched_->yield(lk, r);  // iprobe miss: see api_test
   }
 
   Status status;
@@ -978,11 +997,11 @@ CollUserResult Engine::collective_impl(Rank r, CollKind kind, CommId comm,
   // Wake members whose completion predicate may have flipped.
   const bool all_arrived = slot.arrived == size;
   if (is_all_style(kind) && all_arrived) {
-    for (Rank w : comm_rec.members) pr(w).cv.notify_all();
+    for (Rank w : comm_rec.members) sched_->wake(w);
   } else if (root_to_leaves(kind) && slot.root_arrived && cr == root_rel) {
-    for (Rank w : comm_rec.members) pr(w).cv.notify_all();
+    for (Rank w : comm_rec.members) sched_->wake(w);
   } else if (leaves_to_root(kind) && all_arrived) {
-    pr(root_world).cv.notify_all();
+    sched_->wake(root_world);
   }
 
   // Completion predicate for this rank.
@@ -1265,7 +1284,10 @@ bool Engine::raw_iprobe(Rank r, Rank src, Tag tag, CommId comm,
   } else {
     env = find_specific(r, src_world, tag, comm);
   }
-  if (env == nullptr) return false;
+  if (env == nullptr) {
+    sched_->yield(lk, r);
+    return false;
+  }
   if (status != nullptr) {
     status->source = comms_.to_rel(comm, env->src_world);
     status->tag = env->tag;

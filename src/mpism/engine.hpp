@@ -1,15 +1,17 @@
 // Engine: internal implementation of the mpism runtime.
 //
-// All state is guarded by one global mutex (the simulator runs on a
-// single host; per-rank condition variables keep wakeups targeted).
-// Matching is *eager*: every send is matched against posted receives at
-// injection time and every receive against queued sends at post time, so
-// the invariant "no pending posted receive is compatible with any queued
-// unexpected message" holds at all times. Under eager sends this makes
-// "every live rank is blocked" an exact deadlock criterion.
+// All state is guarded by one global mutex. How ranks execute — one OS
+// thread each, or cooperative fibers multiplexed run-to-block onto the
+// calling thread — is delegated to a pluggable RankScheduler
+// (mpism/scheduler.hpp); the engine only tells it when a rank blocks and
+// whose wake predicate may have flipped. Matching is *eager*: every send
+// is matched against posted receives at injection time and every receive
+// against queued sends at post time, so the invariant "no pending posted
+// receive is compatible with any queued unexpected message" holds at all
+// times. Under eager sends this makes "every live rank is blocked" an
+// exact deadlock criterion.
 #pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <map>
 #include <memory>
@@ -24,6 +26,7 @@
 #include "mpism/report.hpp"
 #include "mpism/request.hpp"
 #include "mpism/runtime.hpp"
+#include "mpism/scheduler.hpp"
 #include "mpism/tool.hpp"
 
 namespace dampi::mpism {
@@ -103,7 +106,6 @@ class Engine {
   enum class BlockKind { kNone, kWait, kProbe, kColl };
 
   struct PerRank {
-    std::condition_variable cv;
     double vtime = 0.0;
     bool finished = false;
     bool blocked = false;
@@ -177,7 +179,10 @@ class Engine {
   void blocking_wait(std::unique_lock<std::mutex>& lk, Rank r, BlockKind kind,
                      std::string desc, Pred pred);
   /// Called with the lock held right before a rank would block; if every
-  /// other live rank is already blocked, declares a deadlock.
+  /// other live rank is already blocked, declares a deadlock. A no-op
+  /// under schedulers that detect stalls themselves (coop): there a rank
+  /// can be runnable-but-unscheduled, which this count-based check
+  /// cannot see, so the scheduler's no-candidate scan is authoritative.
   void maybe_declare_deadlock(Rank r);
   void declare_deadlock_locked();
   void abort_all_locked();
@@ -218,10 +223,14 @@ class Engine {
 
   PerRank& pr(Rank r) { return *ranks_[static_cast<std::size_t>(r)]; }
 
-  void rank_thread_main(Rank r, const ProgramFn& program);
+  /// One rank's whole life: tool-stack setup, the program, finalize, and
+  /// result accounting. Runs on whatever execution context (OS thread or
+  /// fiber) the scheduler provides; must not leak exceptions into it.
+  void rank_body(Rank r, const ProgramFn& program);
 
   RunOptions opts_;
   std::mutex mu_;
+  std::unique_ptr<RankScheduler> sched_;
   std::vector<std::unique_ptr<PerRank>> ranks_;
   CommTable comms_;
   std::unique_ptr<MatchPolicy> policy_;

@@ -9,6 +9,7 @@
 #include "mpism/policy.hpp"
 #include "mpism/proc.hpp"
 #include "mpism/report.hpp"
+#include "mpism/scheduler.hpp"
 #include "mpism/tool.hpp"
 #include "mpism/types.hpp"
 
@@ -27,6 +28,9 @@ struct RunOptions {
   /// eligible (SELF_RUN behaviour).
   PolicyKind policy = PolicyKind::kLowestSource;
   std::uint64_t policy_seed = 1;
+  /// How ranks execute and who advances next (thread-per-rank, or
+  /// deterministic run-to-block fibers). Defaults honor DAMPI_SCHED.
+  SchedOptions sched = default_sched_options();
   /// Interposition stack; empty means a native (uninstrumented) run.
   ToolSetup tools;
 };

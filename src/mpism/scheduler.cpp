@@ -1,0 +1,432 @@
+#include "mpism/scheduler.hpp"
+
+#include <ucontext.h>
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "common/strutil.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+// Sanitizers instrument the OS-thread stack; swapcontext moves execution
+// onto a heap stack they know nothing about, so shadow state corrupts
+// (TSan) or redzones fire (ASan). Rather than annotate fibers we fall
+// back to ThreadScheduler in sanitized builds — the coop paths are
+// exercised by the unsanitized tier-1 stages.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define DAMPI_COOP_UNSUPPORTED 1
+#endif
+#if !defined(DAMPI_COOP_UNSUPPORTED) && defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define DAMPI_COOP_UNSUPPORTED 1
+#endif
+#endif
+
+namespace dampi::mpism {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ThreadScheduler: one OS thread per rank, per-rank condition variables
+// (the engine's original execution model, kept for differential testing
+// and for sanitized builds).
+// ---------------------------------------------------------------------------
+
+class ThreadScheduler final : public RankScheduler {
+ public:
+  explicit ThreadScheduler(int nprocs)
+      : nprocs_(nprocs),
+        cvs_(std::make_unique<std::condition_variable[]>(
+            static_cast<std::size_t>(nprocs))) {}
+
+  void run(std::mutex&, const Callbacks& cb) override {
+    cb_ = &cb;
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(nprocs_));
+    for (Rank r = 0; r < nprocs_; ++r) {
+      threads.emplace_back([this, r, &cb] {
+        log::set_thread_rank(r);
+        DAMPI_TRACE_THREAD_LANE(strfmt("rank %d", r));
+        cb.body(r);
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+
+  void block(std::unique_lock<std::mutex>& lk, Rank r) override {
+    cvs_[static_cast<std::size_t>(r)].wait(
+        lk, [this, r] { return cb_->wake_ready(r) || cb_->stop(); });
+  }
+
+  void wake(Rank r) override {
+    cvs_[static_cast<std::size_t>(r)].notify_all();
+  }
+
+  void wake_all() override {
+    for (Rank r = 0; r < nprocs_; ++r) {
+      cvs_[static_cast<std::size_t>(r)].notify_all();
+    }
+  }
+
+  bool detects_stall() const override { return false; }
+  const char* name() const override { return "thread"; }
+
+ private:
+  int nprocs_;
+  std::unique_ptr<std::condition_variable[]> cvs_;
+  const Callbacks* cb_ = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// CoopScheduler: one ucontext fiber per rank, all multiplexed onto the
+// thread that called run(). A fiber executes until its rank blocks in an
+// MPI operation (block() swaps back here), then the policy picks the
+// next runnable rank. Everything the policy consumes — fiber states,
+// wake hints, predicate results — is a deterministic function of program
+// behaviour, so a (policy, seed) pair fixes the entire interleaving.
+// ---------------------------------------------------------------------------
+
+class CoopScheduler final : public RankScheduler {
+ public:
+  CoopScheduler(const SchedOptions& options, int nprocs)
+      : opts_(options),
+        nprocs_(nprocs),
+        rng_(options.seed),
+        fibers_(static_cast<std::size_t>(nprocs)) {
+    if (opts_.pick == SchedPolicy::kPriority) {
+      // Static per-rank priorities drawn once from the seed; ties are
+      // impossible in practice (64-bit draws) but break toward the
+      // lower rank for full determinism anyway.
+      Rng prio_rng(opts_.seed);
+      priorities_.reserve(fibers_.size());
+      for (int i = 0; i < nprocs_; ++i) {
+        priorities_.push_back(prio_rng.next_u64());
+      }
+    }
+  }
+
+  ~CoopScheduler() override {
+    for (Fiber& f : fibers_) {
+      if (f.lane != nullptr) obs::Tracer::instance().release(f.lane);
+    }
+  }
+
+  void run(std::mutex& mu, const Callbacks& cb) override {
+    cb_ = &cb;
+    if (obs::trace_on()) {
+      for (Rank r = 0; r < nprocs_; ++r) {
+        fibers_[static_cast<std::size_t>(r)].lane =
+            obs::Tracer::instance().acquire(strfmt("rank %d", r));
+      }
+    }
+    std::uint64_t switches = 0;
+    {
+      std::unique_lock<std::mutex> lk(mu);
+      while (finished_ < nprocs_) {
+        const Rank r = pick();
+        DAMPI_CHECK_MSG(r >= 0, "coop scheduler: no dispatchable rank");
+        dispatch(lk, r);
+        ++switches;
+      }
+    }
+    for (Fiber& f : fibers_) {
+      if (f.lane != nullptr) {
+        obs::Tracer::instance().release(f.lane);
+        f.lane = nullptr;
+      }
+    }
+    static obs::Counter& runs_metric =
+        obs::Registry::instance().counter("scheduler.coop_runs");
+    static obs::Counter& switches_metric =
+        obs::Registry::instance().counter("scheduler.switches");
+    static obs::Counter& stalls_metric =
+        obs::Registry::instance().counter("scheduler.stalls");
+    runs_metric.add(1);
+    switches_metric.add(switches);
+    stalls_metric.add(stalls_);
+  }
+
+  void block(std::unique_lock<std::mutex>& lk, Rank r) override {
+    Fiber& f = fibers_[static_cast<std::size_t>(r)];
+    while (!(cb_->wake_ready(r) || cb_->stop())) {
+      f.state = State::kBlocked;
+      // The scheduler loop owns the lock across dispatches; a fiber must
+      // hand it back before swapping or the (single) host thread would
+      // self-deadlock reacquiring it.
+      lk.unlock();
+      swapcontext(&f.ctx, &sched_ctx_);
+      lk.lock();
+    }
+  }
+
+  void yield(std::unique_lock<std::mutex>& lk, Rank r) override {
+    Fiber& f = fibers_[static_cast<std::size_t>(r)];
+    f.state = State::kYielded;
+    lk.unlock();
+    swapcontext(&f.ctx, &sched_ctx_);
+    lk.lock();
+  }
+
+  void wake(Rank r) override {
+    fibers_[static_cast<std::size_t>(r)].hint = true;
+  }
+
+  void wake_all() override {
+    for (Fiber& f : fibers_) f.hint = true;
+  }
+
+  bool detects_stall() const override { return true; }
+
+  const char* name() const override {
+    switch (opts_.pick) {
+      case SchedPolicy::kRoundRobin: return "coop-rr";
+      case SchedPolicy::kRandomSeeded: return "coop-random";
+      case SchedPolicy::kPriority: return "coop-priority";
+    }
+    return "coop";
+  }
+
+ private:
+  enum class State { kUnstarted, kRunning, kBlocked, kYielded, kFinished };
+
+  struct Fiber {
+    State state = State::kUnstarted;
+    /// Wake-hint: a wake() targeted this rank since it last ran. Purely
+    /// an optimization — candidates are re-validated against the wake
+    /// predicate, and an empty hinted set triggers a full scan.
+    bool hint = false;
+    std::unique_ptr<char[]> stack;
+    ucontext_t ctx = {};
+    obs::Lane* lane = nullptr;
+  };
+
+  /// Selects the next rank to dispatch (engine mutex held), declaring a
+  /// stall first if nothing is runnable. Returns -1 only when every
+  /// rank has finished (the run loop exits before asking again).
+  Rank pick() {
+    candidates_.clear();
+    const bool stopping = cb_->stop();
+    bool any_unfinished = false;
+    for (Rank r = 0; r < nprocs_; ++r) {
+      const Fiber& f = fibers_[static_cast<std::size_t>(r)];
+      if (f.state == State::kFinished) continue;
+      any_unfinished = true;
+      if (stopping || f.state == State::kUnstarted ||
+          f.state == State::kYielded) {
+        // Stopping releases every parked rank so it can observe the
+        // abort and unwind; unstarted and poll-yielded ranks are always
+        // runnable.
+        candidates_.push_back(r);
+      } else if (f.hint && cb_->wake_ready(r)) {
+        candidates_.push_back(r);
+      }
+    }
+    if (!any_unfinished) return -1;
+    if (candidates_.empty()) {
+      // Hints are conservative; a predicate can flip without a wake()
+      // (e.g. a probe whose candidate set grew via an unrelated path).
+      // Re-scan every blocked rank before concluding anything.
+      for (Rank r = 0; r < nprocs_; ++r) {
+        const Fiber& f = fibers_[static_cast<std::size_t>(r)];
+        if (f.state == State::kBlocked && cb_->wake_ready(r)) {
+          candidates_.push_back(r);
+        }
+      }
+    }
+    if (candidates_.empty()) {
+      // Every live rank is blocked with a false predicate: with eager
+      // matching nothing can make progress — an exact deadlock. The
+      // engine marks the run stopped, after which all parked ranks
+      // become dispatchable and unwind.
+      ++stalls_;
+      cb_->on_stall();
+      DAMPI_CHECK_MSG(cb_->stop(), "on_stall must stop the run");
+      for (Rank r = 0; r < nprocs_; ++r) {
+        if (fibers_[static_cast<std::size_t>(r)].state != State::kFinished) {
+          candidates_.push_back(r);
+        }
+      }
+    }
+    return choose_from_candidates();
+  }
+
+  Rank choose_from_candidates() {
+    DAMPI_CHECK(!candidates_.empty());
+    switch (opts_.pick) {
+      case SchedPolicy::kRoundRobin: {
+        for (Rank r : candidates_) {
+          if (r >= rr_cursor_) {
+            rr_cursor_ = (r + 1) % nprocs_;
+            return r;
+          }
+        }
+        const Rank r = candidates_.front();
+        rr_cursor_ = (r + 1) % nprocs_;
+        return r;
+      }
+      case SchedPolicy::kRandomSeeded:
+        return candidates_[static_cast<std::size_t>(
+            rng_.next_below(candidates_.size()))];
+      case SchedPolicy::kPriority: {
+        Rank best = candidates_.front();
+        for (Rank r : candidates_) {
+          if (priorities_[static_cast<std::size_t>(r)] >
+              priorities_[static_cast<std::size_t>(best)]) {
+            best = r;
+          }
+        }
+        return best;
+      }
+    }
+    return candidates_.front();
+  }
+
+  void dispatch(std::unique_lock<std::mutex>& lk, Rank r) {
+    Fiber& f = fibers_[static_cast<std::size_t>(r)];
+    f.hint = false;
+    if (f.state == State::kUnstarted) prepare_fiber(f);
+    f.state = State::kRunning;
+    current_ = r;
+    lk.unlock();
+    DAMPI_TEVENT(obs::EventKind::kSchedSwitch, obs::Phase::kBegin, r);
+    const int host_rank = log::thread_rank();
+    log::set_thread_rank(r);
+    obs::Lane* host_lane = nullptr;
+    if (f.lane != nullptr) host_lane = obs::exchange_thread_lane(f.lane);
+    swapcontext(&sched_ctx_, &f.ctx);
+    if (f.lane != nullptr) obs::exchange_thread_lane(host_lane);
+    log::set_thread_rank(host_rank);
+    DAMPI_TEVENT(obs::EventKind::kSchedSwitch, obs::Phase::kEnd, r);
+    current_ = -1;
+    lk.lock();
+  }
+
+  void prepare_fiber(Fiber& f) {
+    f.stack.reset(new char[opts_.stack_bytes]);
+    getcontext(&f.ctx);
+    f.ctx.uc_stack.ss_sp = f.stack.get();
+    f.ctx.uc_stack.ss_size = opts_.stack_bytes;
+    f.ctx.uc_link = &sched_ctx_;
+    // makecontext takes int arguments; smuggle `this` through two
+    // halves (the classic portable idiom).
+    const auto self = reinterpret_cast<std::uintptr_t>(this);
+    makecontext(&f.ctx, reinterpret_cast<void (*)()>(&CoopScheduler::tramp),
+                2, static_cast<int>(static_cast<std::uint32_t>(self >> 32)),
+                static_cast<int>(static_cast<std::uint32_t>(self)));
+  }
+
+  static void tramp(int hi, int lo) {
+    const std::uintptr_t bits =
+        (static_cast<std::uintptr_t>(static_cast<std::uint32_t>(hi)) << 32) |
+        static_cast<std::uintptr_t>(static_cast<std::uint32_t>(lo));
+    reinterpret_cast<CoopScheduler*>(bits)->fiber_main();
+  }
+
+  void fiber_main() {
+    const Rank r = current_;
+    cb_->body(r);
+    Fiber& f = fibers_[static_cast<std::size_t>(r)];
+    f.state = State::kFinished;
+    ++finished_;
+    // Yield for good; the scheduler never resumes a finished fiber, so
+    // the loop is unreachable after the first swap (it exists so the
+    // trampoline can never fall off the end of its makecontext frame).
+    for (;;) swapcontext(&f.ctx, &sched_ctx_);
+  }
+
+  SchedOptions opts_;
+  int nprocs_;
+  Rng rng_;
+  std::vector<Fiber> fibers_;
+  std::vector<std::uint64_t> priorities_;
+  std::vector<Rank> candidates_;
+  ucontext_t sched_ctx_ = {};
+  const Callbacks* cb_ = nullptr;
+  Rank current_ = -1;
+  Rank rr_cursor_ = 0;
+  int finished_ = 0;
+  std::uint64_t stalls_ = 0;
+};
+
+}  // namespace
+
+bool coop_supported() {
+#if defined(DAMPI_COOP_UNSUPPORTED)
+  return false;
+#else
+  return true;
+#endif
+}
+
+std::unique_ptr<RankScheduler> make_scheduler(const SchedOptions& options,
+                                              int nprocs) {
+  DAMPI_CHECK(nprocs > 0);
+  if (options.kind == SchedulerKind::kCoop) {
+    if (coop_supported()) {
+      SchedOptions coop = options;
+      coop.stack_bytes = std::max<std::size_t>(coop.stack_bytes, 64 * 1024);
+      return std::make_unique<CoopScheduler>(coop, nprocs);
+    }
+    static bool warned = false;
+    if (!warned) {
+      warned = true;
+      DAMPI_LOG(kWarn) << "coop scheduler unavailable in sanitized builds; "
+                          "falling back to thread scheduler";
+    }
+  }
+  return std::make_unique<ThreadScheduler>(nprocs);
+}
+
+bool parse_sched_spec(const std::string& spec, SchedOptions* out) {
+  SchedOptions parsed = *out;
+  if (spec == "thread") {
+    parsed.kind = SchedulerKind::kThread;
+  } else if (spec == "coop" || spec == "coop-rr") {
+    parsed.kind = SchedulerKind::kCoop;
+    parsed.pick = SchedPolicy::kRoundRobin;
+  } else if (spec == "coop-random") {
+    parsed.kind = SchedulerKind::kCoop;
+    parsed.pick = SchedPolicy::kRandomSeeded;
+  } else if (spec == "coop-priority") {
+    parsed.kind = SchedulerKind::kCoop;
+    parsed.pick = SchedPolicy::kPriority;
+  } else {
+    return false;
+  }
+  *out = parsed;
+  return true;
+}
+
+std::string sched_spec(const SchedOptions& options) {
+  if (options.kind == SchedulerKind::kThread) return "thread";
+  switch (options.pick) {
+    case SchedPolicy::kRoundRobin: return "coop-rr";
+    case SchedPolicy::kRandomSeeded: return "coop-random";
+    case SchedPolicy::kPriority: return "coop-priority";
+  }
+  return "coop";
+}
+
+const SchedOptions& default_sched_options() {
+  static const SchedOptions cached = [] {
+    SchedOptions options;
+    const char* env = std::getenv("DAMPI_SCHED");
+    if (env != nullptr && env[0] != '\0' &&
+        !parse_sched_spec(env, &options)) {
+      DAMPI_LOG(kWarn) << "ignoring unrecognized DAMPI_SCHED value '" << env
+                       << "' (want thread|coop|coop-rr|coop-random|"
+                          "coop-priority)";
+    }
+    return options;
+  }();
+  return cached;
+}
+
+}  // namespace dampi::mpism

@@ -1,0 +1,121 @@
+// Pluggable rank scheduling for the mpism engine.
+//
+// The engine executes one program instance per rank; how those instances
+// share the host is a policy question this interface isolates:
+//
+//  - ThreadScheduler: one OS thread per rank (the original engine
+//    behaviour). Preemption points are wherever the OS puts them, so
+//    wildcard match order on a native run depends on host scheduling.
+//  - CoopScheduler: every rank is a ucontext fiber on the *calling*
+//    thread. A rank runs until it blocks in an MPI operation, then
+//    yields to the scheduler, which deterministically picks the next
+//    runnable rank (round-robin, seeded-random, or seeded-priority).
+//    Native runs become bit-reproducible by construction, and rank
+//    counts in the hundreds cost fibers instead of OS threads — the
+//    run-to-block discipline of centralized-scheduler verifiers (ISP,
+//    MPI-SV) applied to the paper's eager-matching simulator.
+//
+// Contract: the engine owns one mutex; `block` is called by a rank with
+// that mutex held and returns with it held once `wake_ready(rank)` or
+// `stop()` is true. `wake`/`wake_all` are called with the mutex held and
+// are hints — a scheduler may wake spuriously but must never lose a
+// wakeup. Under the coop scheduler a stall (no runnable rank, not all
+// finished) is reported through `on_stall` with the mutex held; with
+// eager matching this is an exact deadlock criterion, replacing the
+// engine's own count-based check (see Engine::maybe_declare_deadlock).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "mpism/types.hpp"
+
+namespace dampi::mpism {
+
+enum class SchedulerKind { kThread, kCoop };
+
+/// How the coop scheduler picks among runnable ranks. All three are
+/// deterministic functions of (seed, pick history), so a given
+/// (policy, seed) pair replays the same interleaving every time.
+enum class SchedPolicy { kRoundRobin, kRandomSeeded, kPriority };
+
+struct SchedOptions {
+  SchedulerKind kind = SchedulerKind::kThread;
+  SchedPolicy pick = SchedPolicy::kRoundRobin;
+  std::uint64_t seed = 1;
+  /// Per-fiber stack size (coop only); allocated lazily on first
+  /// dispatch, so unstarted ranks cost nothing.
+  std::size_t stack_bytes = 256 * 1024;
+};
+
+class RankScheduler {
+ public:
+  /// Engine-provided hooks. All except `body` are invoked with the
+  /// engine mutex held.
+  struct Callbacks {
+    /// Runs one rank's program instance to completion; must not throw
+    /// (the engine catches everything inside).
+    std::function<void(Rank)> body;
+    /// True when the blocked rank's wake predicate holds.
+    std::function<bool(Rank)> wake_ready;
+    /// True once the run is aborting or deadlocked: every parked rank
+    /// must be released so it can unwind.
+    std::function<bool()> stop;
+    /// No rank is runnable and not all have finished (coop only).
+    std::function<void()> on_stall;
+  };
+
+  virtual ~RankScheduler() = default;
+
+  /// Executes `body` for ranks 0..nprocs-1; returns when all finished.
+  virtual void run(std::mutex& mu, const Callbacks& cb) = 0;
+  /// Parks the calling rank until wake_ready(r) or stop(). `lk` holds
+  /// the engine mutex on entry and on return.
+  virtual void block(std::unique_lock<std::mutex>& lk, Rank r) = 0;
+  /// Cedes the processor without blocking: the rank stays runnable and
+  /// will be rescheduled per policy. Called when a non-blocking poll
+  /// (test*/iprobe) observes "not ready" — under run-to-block execution
+  /// a busy-poll loop would otherwise starve every other rank forever.
+  /// No-op for preemptive schedulers.
+  virtual void yield(std::unique_lock<std::mutex>& lk, Rank r) {
+    (void)lk;
+    (void)r;
+  }
+  /// Hints that r's wake predicate may have flipped (engine mutex held).
+  virtual void wake(Rank r) = 0;
+  virtual void wake_all() = 0;
+  /// True when this scheduler performs its own stall (deadlock)
+  /// detection via on_stall, making the engine's count-based check both
+  /// redundant and wrong (a runnable-but-unscheduled rank is neither
+  /// blocked nor finished yet must not trip "everyone is stuck").
+  virtual bool detects_stall() const = 0;
+  virtual const char* name() const = 0;
+};
+
+/// False when fibers cannot work in this build (thread/address sanitizer
+/// instrumentation does not track ucontext stack switches); callers fall
+/// back to ThreadScheduler.
+bool coop_supported();
+
+std::unique_ptr<RankScheduler> make_scheduler(const SchedOptions& options,
+                                              int nprocs);
+
+/// Parse a CLI/env scheduler spec: "thread", "coop" (round-robin),
+/// "coop-rr", "coop-random", "coop-priority". Returns false (leaving
+/// `out` untouched) on anything else.
+bool parse_sched_spec(const std::string& spec, SchedOptions* out);
+
+/// Canonical spec string for the given options (inverse of parse).
+std::string sched_spec(const SchedOptions& options);
+
+/// Process-wide default: SchedOptions{} unless the DAMPI_SCHED
+/// environment variable holds a valid spec (read once, cached). Lets
+/// tier-1 re-run the full test suite under the coop scheduler without
+/// touching every call site.
+const SchedOptions& default_sched_options();
+
+}  // namespace dampi::mpism

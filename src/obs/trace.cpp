@@ -25,6 +25,7 @@ const KindInfo& kind_info(EventKind kind) {
       {"decision.pop", {"rank", "nd", "src", nullptr}},
       {"replay", {"speculative", nullptr, nullptr, "interleaving"}},
       {"replay.discard", {nullptr, nullptr, nullptr, nullptr}},
+      {"sched.run", {"rank", nullptr, nullptr, nullptr}},
   };
   static_assert(sizeof(kTable) / sizeof(kTable[0]) ==
                 static_cast<std::size_t>(EventKind::kKindCount));
@@ -114,6 +115,12 @@ void Tracer::reset() {
   std::lock_guard<std::mutex> lk(mu_);
   free_.clear();
   lanes_.clear();
+}
+
+Lane* exchange_thread_lane(Lane* lane) {
+  Lane* prev = detail::tls_lane;
+  detail::tls_lane = lane;
+  return prev;
 }
 
 ThreadLane::ThreadLane(std::string name) {

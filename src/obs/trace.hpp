@@ -51,6 +51,8 @@ enum class EventKind : std::uint16_t {
   kDecisionPop,     ///< DFS frame flipped; a=rank b=nd_index c=forced src
   kRun,             ///< span: one replay; a=speculative d=interleaving
   kRunDiscard,      ///< instant: speculative result dropped at shutdown
+  // coop scheduler (emitted in the host thread's lane)
+  kSchedSwitch,     ///< span: a rank fiber held the host thread; a=rank
   kKindCount
 };
 
@@ -167,6 +169,12 @@ class Tracer {
 namespace detail {
 extern thread_local Lane* tls_lane;
 }  // namespace detail
+
+/// Point the calling thread's emits at `lane` (nullptr detaches) and
+/// return the previous lane. The coop scheduler uses this to redirect a
+/// single host thread into the lane of whichever rank fiber it resumes;
+/// ThreadLane remains the RAII path for threads that own one lane.
+Lane* exchange_thread_lane(Lane* lane);
 
 inline bool trace_on() {
 #if DAMPI_TRACE_ENABLED

@@ -1,0 +1,419 @@
+// The cooperative run-to-block scheduler (ctest label `sched`):
+//
+//  - determinism: under --sched=coop the RunReport and the full
+//    exploration result are bit-identical across repetitions and across
+//    every replay-pool width, with no initial_schedule pinning;
+//  - differential: the coop and thread schedulers visit the same
+//    *outcome set* on the paper's Fig. 3 / Fig. 4 patterns, both equal
+//    to the brute-force reachability oracle;
+//  - deadlock: the scheduler's stall scan reports genuine deadlocks and
+//    never flags a runnable-but-unscheduled rank at large nprocs;
+//  - scale: a 512-rank wavefront verification completes on one host
+//    thread (ranks are fibers, not OS threads).
+//
+// Fingerprints deliberately exclude wall-clock fields (wall_seconds,
+// total_wall_seconds) and the replay-pool counters: speculation timing
+// is host-dependent by design while everything else must not be.
+// Doubles print as %a so "bit-identical" means bit-identical.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <set>
+#include <string>
+
+#include "common/strutil.hpp"
+#include "core/explorer.hpp"
+#include "support/reference_enumerator.hpp"
+#include "support/run_helpers.hpp"
+#include "support/verify_helpers.hpp"
+#include "workloads/patterns.hpp"
+#include "workloads/wavefront.hpp"
+
+namespace dampi::test {
+namespace {
+
+using dampi::strfmt;
+using mpism::Bytes;
+using mpism::pack;
+using mpism::unpack;
+
+mpism::SchedOptions coop(
+    mpism::SchedPolicy pick = mpism::SchedPolicy::kRoundRobin,
+    std::uint64_t seed = 1) {
+  mpism::SchedOptions sched;
+  sched.kind = mpism::SchedulerKind::kCoop;
+  sched.pick = pick;
+  sched.seed = seed;
+  return sched;
+}
+
+mpism::SchedOptions thread_sched() {
+  mpism::SchedOptions sched;
+  sched.kind = mpism::SchedulerKind::kThread;
+  return sched;
+}
+
+mpism::RunOptions run_options(int nprocs, const mpism::SchedOptions& sched) {
+  mpism::RunOptions options;
+  options.nprocs = nprocs;
+  options.sched = sched;
+  return options;
+}
+
+/// Every deterministic field of a RunReport, doubles in %a hex form.
+/// wall_seconds is the one field that is *supposed* to vary.
+std::string fingerprint(const mpism::RunReport& r) {
+  std::string s = strfmt(
+      "completed=%d deadlocked=%d vtime=%a comm_leaks=%d req_leaks=%llu "
+      "msgs=%llu tool_msgs=%llu",
+      r.completed ? 1 : 0, r.deadlocked ? 1 : 0, r.vtime_us, r.comm_leaks,
+      static_cast<unsigned long long>(r.request_leaks),
+      static_cast<unsigned long long>(r.messages_sent),
+      static_cast<unsigned long long>(r.stats.tool_messages));
+  s += "\ndeadlock_detail=" + r.deadlock_detail;
+  for (const auto& e : r.errors) {
+    s += strfmt("\nerror rank=%d ", e.rank) + e.message;
+  }
+  for (std::size_t c = 0; c < mpism::OpStats::kNumCategories; ++c) {
+    s += strfmt("\ncat%zu:", c);
+    for (const auto v : r.stats.counts[c]) {
+      s += strfmt(" %llu", static_cast<unsigned long long>(v));
+    }
+  }
+  return s;
+}
+
+std::string fingerprint(const core::Schedule& schedule) {
+  std::string s;
+  for (const auto& [key, src] : schedule.forced) {
+    s += strfmt("(%d,%llu)->%d ", key.rank,
+                static_cast<unsigned long long>(key.nd_index), src);
+  }
+  return s;
+}
+
+/// Everything an exploration decides, excluding wall time and pool
+/// scheduling counters (both timing-dependent by design).
+std::string fingerprint(const core::ExploreResult& r) {
+  std::string s = strfmt(
+      "interleavings=%llu recv_epochs=%llu probe_epochs=%llu pm=%llu "
+      "first_vtime=%a total_vtime=%a div=%llu prefix=%llu budget=%d%d",
+      static_cast<unsigned long long>(r.interleavings),
+      static_cast<unsigned long long>(r.wildcard_recv_epochs),
+      static_cast<unsigned long long>(r.wildcard_probe_epochs),
+      static_cast<unsigned long long>(r.potential_matches_first_run),
+      r.first_run_vtime_us, r.total_vtime_us,
+      static_cast<unsigned long long>(r.divergences),
+      static_cast<unsigned long long>(r.prefix_mismatches),
+      r.interleaving_budget_exhausted ? 1 : 0,
+      r.time_budget_exhausted ? 1 : 0);
+  s += "\nfirst: " + fingerprint(r.first_report);
+  for (const auto& b : r.bugs) {
+    s += strfmt("\nbug kind=%d run=%llu sched=", static_cast<int>(b.kind),
+                static_cast<unsigned long long>(b.interleaving));
+    s += fingerprint(b.schedule);
+    s += " detail=" + b.deadlock_detail;
+    for (const auto& e : b.errors) {
+      s += strfmt(" [rank=%d %s]", e.rank, e.message.c_str());
+    }
+  }
+  for (const auto& a : r.unsafe_alerts) s += "\nalert: " + a;
+  return s;
+}
+
+#define SKIP_WITHOUT_COOP()                                              \
+  if (!mpism::coop_supported()) {                                        \
+    GTEST_SKIP() << "coop fibers unsupported in this build (sanitizer)"; \
+  }
+
+TEST(SchedSpec, ParseAndFormatRoundTrip) {
+  for (const char* spec :
+       {"thread", "coop", "coop-rr", "coop-random", "coop-priority"}) {
+    mpism::SchedOptions options;
+    ASSERT_TRUE(mpism::parse_sched_spec(spec, &options)) << spec;
+    // "coop" is shorthand for round-robin; it formats canonically.
+    const std::string canonical =
+        std::string(spec) == "coop" ? "coop-rr" : spec;
+    EXPECT_EQ(mpism::sched_spec(options), canonical);
+    // Round trip: parse(format(x)) == x.
+    mpism::SchedOptions reparsed;
+    ASSERT_TRUE(mpism::parse_sched_spec(mpism::sched_spec(options), &reparsed));
+    EXPECT_EQ(reparsed.kind, options.kind);
+    EXPECT_EQ(reparsed.pick, options.pick);
+  }
+  mpism::SchedOptions untouched;
+  untouched.seed = 99;
+  EXPECT_FALSE(mpism::parse_sched_spec("fifo", &untouched));
+  EXPECT_FALSE(mpism::parse_sched_spec("", &untouched));
+  EXPECT_EQ(untouched.seed, 99u);  // failed parse leaves *out alone
+}
+
+// Acceptance bar: same seed => bit-identical RunReport, 100/100, with
+// no initial_schedule pinning anywhere. The wavefront's wildcard
+// receives make this genuinely scheduling-sensitive — under the thread
+// scheduler the match order (and hence message/stat details) may vary
+// run to run; under coop it must not.
+TEST(SchedDeterminism, RunReportBitIdentical100x) {
+  SKIP_WITHOUT_COOP();
+  const auto program = [](Proc& p) {
+    workloads::WavefrontConfig config;
+    config.sweeps = 2;
+    workloads::wavefront(p, config);
+  };
+  for (const auto& sched :
+       {coop(mpism::SchedPolicy::kRoundRobin),
+        coop(mpism::SchedPolicy::kRandomSeeded, 42),
+        coop(mpism::SchedPolicy::kPriority, 7)}) {
+    std::optional<std::string> first;
+    for (int i = 0; i < 100; ++i) {
+      const auto report = run_program(run_options(8, sched), program);
+      ASSERT_TRUE(report.ok()) << report.deadlock_detail;
+      const std::string fp = fingerprint(report);
+      if (!first.has_value()) {
+        first = fp;
+      } else {
+        ASSERT_EQ(fp, *first)
+            << mpism::sched_spec(sched) << " diverged at repetition " << i;
+      }
+    }
+  }
+}
+
+// Different seeds must be *able* to produce different interleavings —
+// otherwise the seeded policies are decoration and the explorer's
+// diversity claim is hollow. (Round-robin ignores the seed by design.)
+// Observed through a wildcard fan-in: whichever sender the seeded pick
+// order lets arrive first is the one rank 0's first wildcard matches.
+TEST(SchedDeterminism, SeedActuallySteersRandomPolicy) {
+  SKIP_WITHOUT_COOP();
+  std::set<int> first_sources;
+  for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+    int first_src = -1;
+    const auto report = run_program(
+        run_options(8, coop(mpism::SchedPolicy::kRandomSeeded, seed)),
+        [&first_src](Proc& p) {
+          if (p.rank() == 0) {
+            Bytes data;
+            p.recv(mpism::kAnySource, 5, &data);
+            first_src = unpack<int>(data);
+            for (int i = 0; i < p.size() - 2; ++i) {
+              p.recv(mpism::kAnySource, 5);
+            }
+          } else {
+            p.send(0, 5, pack<int>(p.rank()));
+          }
+        });
+    ASSERT_TRUE(report.ok());
+    // And per seed the pick is stable: a second run must reproduce it.
+    int again = -1;
+    run_program(run_options(8, coop(mpism::SchedPolicy::kRandomSeeded, seed)),
+                [&again](Proc& p) {
+                  if (p.rank() == 0) {
+                    Bytes data;
+                    p.recv(mpism::kAnySource, 5, &data);
+                    again = unpack<int>(data);
+                    for (int i = 0; i < p.size() - 2; ++i) {
+                      p.recv(mpism::kAnySource, 5);
+                    }
+                  } else {
+                    p.send(0, 5, pack<int>(p.rank()));
+                  }
+                });
+    ASSERT_EQ(again, first_src) << "seed " << seed;
+    first_sources.insert(first_src);
+  }
+  EXPECT_GT(first_sources.size(), 1u);
+}
+
+// Full exploration (discovery run + DFS + replay pool) is bit-identical
+// across repetitions and across every --jobs width under coop, with no
+// pinning. 100 repetitions total, split across pool widths.
+TEST(SchedDeterminism, ExplorationBitIdenticalAcrossJobs100x) {
+  SKIP_WITHOUT_COOP();
+  std::optional<std::string> first;
+  for (const int jobs : {1, 4}) {
+    for (int i = 0; i < 50; ++i) {
+      core::ExplorerOptions options = explorer_options(3);
+      options.sched = coop();
+      options.jobs = jobs;
+      core::Explorer explorer(options);
+      const auto result = explorer.explore(workloads::fig3_wildcard_bug);
+      ASSERT_TRUE(result.found_bug());
+      const std::string fp = fingerprint(result);
+      if (!first.has_value()) {
+        first = fp;
+      } else {
+        ASSERT_EQ(fp, *first)
+            << "jobs=" << jobs << " diverged at repetition " << i;
+      }
+    }
+  }
+}
+
+// Differential: coop and thread schedulers drive different native match
+// orders but must visit the same outcome *set*, and that set must equal
+// the brute-force reachability oracle (which forces every epoch, so it
+// is scheduler-independent).
+TEST(SchedDifferential, CoopThreadOracleAgreeOnFig3) {
+  SKIP_WITHOUT_COOP();
+  core::ExplorerOptions options = explorer_options(3);
+  const auto reachable =
+      ReferenceEnumerator(options, workloads::fig3_benign).enumerate();
+  ASSERT_EQ(reachable.size(), 2u);
+
+  core::ExplorerOptions coop_options = options;
+  coop_options.sched = coop();
+  EXPECT_EQ(explored_outcomes(coop_options, workloads::fig3_benign),
+            reachable);
+
+  core::ExplorerOptions thread_options = options;
+  thread_options.sched = thread_sched();
+  EXPECT_EQ(explored_outcomes(thread_options, workloads::fig3_benign),
+            reachable);
+}
+
+TEST(SchedDifferential, CoopThreadOracleAgreeOnFig4VectorClocks) {
+  SKIP_WITHOUT_COOP();
+  core::ExplorerOptions options = explorer_options(4);
+  options.clock_mode = core::ClockMode::kVector;
+  const auto reachable =
+      ReferenceEnumerator(options, workloads::fig4_cross_coupled).enumerate();
+  ASSERT_EQ(reachable.size(), 3u);
+
+  core::ExplorerOptions coop_options = options;
+  coop_options.sched = coop();
+  EXPECT_EQ(explored_outcomes(coop_options, workloads::fig4_cross_coupled),
+            reachable);
+
+  core::ExplorerOptions thread_options = options;
+  thread_options.sched = thread_sched();
+  EXPECT_EQ(explored_outcomes(thread_options, workloads::fig4_cross_coupled),
+            reachable);
+}
+
+// The initial_schedule pin exists because *thread*-scheduled discovery
+// runs race (see Regression.Fig4ExplorationDeterministicFromPinnedRoot).
+// Under coop the pin is optional: pinned and unpinned explorations must
+// agree on the outcome set, and the pin must still be honored exactly
+// when supplied.
+TEST(SchedPin, Fig4PinOptionalUnderCoop) {
+  SKIP_WITHOUT_COOP();
+  core::Schedule canonical_first_run;
+  canonical_first_run.forced[core::EpochKey{1, 0}] = 0;
+  canonical_first_run.forced[core::EpochKey{2, 0}] = 3;
+
+  core::ExplorerOptions unpinned = explorer_options(4);
+  unpinned.clock_mode = core::ClockMode::kVector;
+  unpinned.sched = coop();
+  std::optional<std::set<OutcomeSignature>> baseline;
+  for (int i = 0; i < 10; ++i) {
+    const auto outcomes =
+        explored_outcomes(unpinned, workloads::fig4_cross_coupled);
+    if (!baseline.has_value()) {
+      baseline = outcomes;
+    } else {
+      ASSERT_EQ(outcomes, *baseline) << "unpinned coop run " << i;
+    }
+  }
+  ASSERT_EQ(baseline->size(), 3u);
+
+  core::ExplorerOptions pinned = unpinned;
+  pinned.initial_schedule = canonical_first_run;
+  EXPECT_EQ(explored_outcomes(pinned, workloads::fig4_cross_coupled),
+            *baseline);
+
+  // The pin is honored exactly: the forced decisions appear verbatim in
+  // the discovery run's trace.
+  const auto single = run_dampi_once(pinned, canonical_first_run,
+                                     workloads::fig4_cross_coupled);
+  for (const auto& [key, src] : canonical_first_run.forced) {
+    const auto* epoch = find_epoch(single.trace, key.rank, key.nd_index);
+    ASSERT_NE(epoch, nullptr);
+    EXPECT_EQ(epoch->matched_src_world, src);
+  }
+}
+
+// The deadlock-detector satellite: a runnable-but-unscheduled fiber is
+// neither blocked nor finished, so the engine's count-based criterion
+// ("blocked + finished == nprocs") would fire falsely the moment the
+// running rank blocks while hundreds of peers wait for their first
+// dispatch. The scheduler's stall scan must not.
+TEST(SchedDeadlock, NoFalseDeadlockAtLargeNprocs) {
+  SKIP_WITHOUT_COOP();
+  // Root blocks in its first wildcard receive while most of the other
+  // 127 ranks have not run at all — the false-positive shape.
+  const auto report = run_program(
+      run_options(128, coop()),
+      [](Proc& p) { workloads::fan_in_rounds(p, 2); });
+  EXPECT_TRUE(report.ok()) << report.deadlock_detail;
+}
+
+TEST(SchedDeadlock, GenuineDeadlocksStillDetected) {
+  SKIP_WITHOUT_COOP();
+  for (const auto& sched :
+       {coop(mpism::SchedPolicy::kRoundRobin),
+        coop(mpism::SchedPolicy::kRandomSeeded, 3)}) {
+    const auto report =
+        run_program(run_options(2, sched), workloads::simple_deadlock);
+    EXPECT_TRUE(report.deadlocked) << mpism::sched_spec(sched);
+    EXPECT_FALSE(report.deadlock_detail.empty());
+    EXPECT_FALSE(report.completed);
+  }
+  // And through the full verification stack: the wildcard-dependent
+  // deadlock is still found by exploration under coop.
+  core::ExplorerOptions options = explorer_options(3);
+  options.sched = coop();
+  core::Explorer explorer(options);
+  const auto result = explorer.explore(workloads::wildcard_dependent_deadlock);
+  ASSERT_TRUE(result.found_bug());
+  EXPECT_EQ(result.bugs.back().kind, core::BugRecord::Kind::kDeadlock);
+}
+
+// Non-blocking polls are yield points: a rank spinning on test() must
+// cede the host or the sender it is waiting for never runs. (The
+// thread scheduler passes trivially — the OS preempts.)
+TEST(SchedYield, TestPollLoopCompletesUnderCoop) {
+  SKIP_WITHOUT_COOP();
+  const auto report = run_program(run_options(2, coop()), [](Proc& p) {
+    if (p.rank() == 0) {
+      const auto req = p.irecv(1, 7);
+      Bytes data;
+      int polls = 0;
+      while (!p.test(req, nullptr, &data)) {
+        p.require(++polls < 1000000, "poll cap hit: sender starved");
+      }
+      p.require(unpack<int>(data) == 42, "payload mangled");
+      // iprobe misses must yield too (empty queue: nothing sent on tag 9).
+      p.require(!p.iprobe(1, 9), "phantom message");
+    } else {
+      p.compute(50.0);
+      p.send(0, 7, pack<int>(42));
+    }
+  });
+  EXPECT_TRUE(report.ok()) << report.deadlock_detail;
+}
+
+// Acceptance bar: a 512-rank wavefront completes a verification run
+// under --sched=coop. All 512 ranks are fibers on the exploring thread
+// (jobs=1), so this exercises single-core scheduling at a rank count a
+// thread-per-rank engine would need 512 OS threads for.
+TEST(SchedScale, Wavefront512RankVerificationCompletes) {
+  SKIP_WITHOUT_COOP();
+  core::ExplorerOptions options = explorer_options(512);
+  options.sched = coop();
+  options.max_interleavings = 2;  // discovery + one guided replay
+  core::Explorer explorer(options);
+  const auto result = explorer.explore([](Proc& p) {
+    workloads::WavefrontConfig config;
+    config.sweeps = 1;
+    workloads::wavefront(p, config);
+  });
+  EXPECT_TRUE(result.first_report.completed)
+      << result.first_report.deadlock_detail;
+  EXPECT_TRUE(result.bugs.empty());
+  EXPECT_GE(result.interleavings, 1u);
+  EXPECT_GT(result.wildcard_recv_epochs, 0u);
+}
+
+}  // namespace
+}  // namespace dampi::test
