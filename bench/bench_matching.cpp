@@ -1,0 +1,248 @@
+// Matching-structure cost: linear scan vs indexed lanes, swept over
+// unexpected-queue depth (16..8192) and wildcard fan-in.
+//
+// The engine change this measures: find_specific / take / posted-match
+// were O(queue length) deque walks; the indexed structure answers them
+// from hashed per-source FIFO lanes in O(1) amortized, and wildcard
+// candidates come off precomputed lane heads (O(sources), not
+// O(queued)). Measured here at the structure level — same MatchIndex
+// interface the engine drives, no scheduler noise — as ns/op per
+// matcher plus the speedup, then an engine-level run to confirm the
+// indexed matcher's match.scan_length histogram collapses to 1.
+//
+// Output: the table on stdout and BENCH_matching.json
+// (machine-readable, referenced by EXPERIMENTS.md).
+#include <cstdio>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "mpism/match_index.hpp"
+#include "mpism/runtime.hpp"
+#include "obs/metrics.hpp"
+
+using namespace dampi;
+
+namespace {
+
+using mpism::Envelope;
+using mpism::MatchCandidate;
+using mpism::MatchIndex;
+using mpism::MatchKind;
+
+Envelope make_env(mpism::Rank src, mpism::Tag tag, std::uint64_t seq,
+                  std::uint64_t msg_id) {
+  Envelope e;
+  e.src_world = src;
+  e.dst_world = 0;
+  e.tag = tag;
+  e.seq = seq;
+  e.msg_id = msg_id;
+  e.payload = mpism::pack<std::uint64_t>(msg_id);
+  return e;
+}
+
+/// ns/op of `op`, batched until the sample is long enough to trust.
+double measure_ns(const std::function<void()>& op) {
+  const double min_seconds = bench::quick_mode() ? 0.005 : 0.02;
+  for (int i = 0; i < 100; ++i) op();  // warm caches and lanes
+  std::uint64_t iters = 0;
+  bench::WallTimer timer;
+  do {
+    for (int i = 0; i < 200; ++i) op();
+    iters += 200;
+  } while (timer.seconds() < min_seconds);
+  return timer.seconds() * 1e9 / static_cast<double>(iters);
+}
+
+struct Cell {
+  std::string scenario;
+  int depth = 0;
+  int fanin = 0;
+  double linear_ns = 0.0;
+  double indexed_ns = 0.0;
+  double speedup() const { return linear_ns / indexed_ns; }
+};
+
+/// Worst-case specific receive: q messages from other (src, tag) pairs
+/// queued ahead of the one the receive names — the linear matcher walks
+/// all of them, the indexed one reads a lane head.
+double bench_find_specific(MatchKind kind, int depth) {
+  auto idx = mpism::make_match_index(kind);
+  std::uint64_t id = 1;
+  for (int i = 0; i < depth; ++i) {
+    idx->push_unexpected(
+        make_env(1 + (i % 3), i % 4, static_cast<std::uint64_t>(i), id++));
+  }
+  idx->push_unexpected(make_env(7, 9, 0, id++));  // the needle, queued last
+  return measure_ns([&idx] {
+    const Envelope* e = idx->find_specific(7, 9, mpism::kCommWorld);
+    if (e == nullptr) std::abort();
+  });
+}
+
+/// Steady-state churn at depth q: push one message and take it back by
+/// id while q older messages sit in the queue (the id-removal path a
+/// deep query hands to take()). Also the slab-pool reuse loop.
+double bench_churn(MatchKind kind, int depth) {
+  auto idx = mpism::make_match_index(kind);
+  std::uint64_t id = 1;
+  for (int i = 0; i < depth; ++i) {
+    idx->push_unexpected(
+        make_env(1 + (i % 3), i % 4, static_cast<std::uint64_t>(i), id++));
+  }
+  std::uint64_t seq = static_cast<std::uint64_t>(depth);
+  return measure_ns([&idx, &id, &seq] {
+    idx->push_unexpected(make_env(7, 9, seq++, id));
+    idx->take(id);
+    ++id;
+  });
+}
+
+/// Wildcard candidate build: fanin sources, depth/fanin messages each,
+/// all one tag. Linear rebuilds per-source heads from the whole queue;
+/// indexed reads fanin lane heads.
+double bench_wildcard(MatchKind kind, int depth, int fanin) {
+  auto idx = mpism::make_match_index(kind);
+  std::uint64_t id = 1;
+  for (int i = 0; i < depth; ++i) {
+    idx->push_unexpected(make_env(i % fanin, 7,
+                                  static_cast<std::uint64_t>(i / fanin),
+                                  id++));
+  }
+  std::vector<MatchCandidate> buf;
+  return measure_ns([&idx, &buf] {
+    idx->wildcard_candidates(7, mpism::kCommWorld, &buf);
+    if (buf.empty()) std::abort();
+  });
+}
+
+/// Engine-level confirmation that the indexed matcher never scans: run a
+/// deep-queue wildcard workload and read the match.scan_length p99.
+/// Bucket semantics: first_limit=2.0 puts every scan-of-1 sample in
+/// bucket 0, whose upper bound is 2.0 — so "p99 == 1" reads as
+/// quantile_bound(0.99) <= 2.0.
+double indexed_scan_p99_bound() {
+  obs::Registry::instance().reset();
+  mpism::RunOptions options;
+  options.nprocs = 4;
+  options.match = MatchKind::kIndexed;
+  mpism::Runtime runtime(std::move(options));
+  const int queued = bench::quick_mode() ? 128 : 1024;
+  const auto report = runtime.run([queued](mpism::Proc& p) {
+    if (p.rank() == 0) {
+      p.barrier();
+      for (int i = 0; i < 3 * queued; ++i) p.recv(mpism::kAnySource, 7);
+    } else {
+      for (int i = 0; i < queued; ++i) p.send(0, 7, mpism::pack<int>(i));
+      p.barrier();
+    }
+  });
+  if (!report.ok()) {
+    std::printf("UNEXPECTED FAILURE: %s\n", report.deadlock_detail.c_str());
+    std::exit(1);
+  }
+  return obs::Registry::instance()
+      .histogram("match.scan_length", 2.0, 24)
+      .quantile_bound(0.99);
+}
+
+bool write_json(const char* path, const std::vector<Cell>& cells,
+                double scan_p99) {
+  FILE* f = std::fopen(path, "w");
+  if (f == nullptr) return false;
+  std::fprintf(f,
+               "{\n  \"bench\": \"matching\",\n"
+               "  \"scan_length_p99_bound_indexed\": %.3f,\n"
+               "  \"scan_p99_is_one\": %s,\n  \"cells\": [\n",
+               scan_p99, scan_p99 <= 2.0 ? "true" : "false");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    std::fprintf(f,
+                 "    {\"scenario\": \"%s\", \"depth\": %d, \"fanin\": %d, "
+                 "\"linear_ns\": %.1f, \"indexed_ns\": %.1f, "
+                 "\"speedup\": %.2f}%s\n",
+                 c.scenario.c_str(), c.depth, c.fanin, c.linear_ns,
+                 c.indexed_ns, c.speedup(),
+                 i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "Message matching — linear scan vs indexed lanes (depth 16..8192)",
+      "indexed per-source FIFO lanes answer specific matches and removals "
+      "in O(1) and wildcard candidates in O(sources), independent of "
+      "unexpected-queue depth");
+
+  const std::vector<int> depths = bench::quick_mode()
+                                      ? std::vector<int>{16, 256, 1024}
+                                      : std::vector<int>{16, 64, 256, 1024,
+                                                         4096, 8192};
+  const std::vector<int> fanins = bench::quick_mode()
+                                      ? std::vector<int>{2, 32}
+                                      : std::vector<int>{2, 8, 32, 128};
+
+  std::vector<Cell> cells;
+  for (const int depth : depths) {
+    Cell c;
+    c.scenario = "find_specific";
+    c.depth = depth;
+    c.linear_ns = bench_find_specific(MatchKind::kLinear, depth);
+    c.indexed_ns = bench_find_specific(MatchKind::kIndexed, depth);
+    cells.push_back(c);
+  }
+  for (const int depth : depths) {
+    Cell c;
+    c.scenario = "push_take_churn";
+    c.depth = depth;
+    c.linear_ns = bench_churn(MatchKind::kLinear, depth);
+    c.indexed_ns = bench_churn(MatchKind::kIndexed, depth);
+    cells.push_back(c);
+  }
+  const int wc_depth = bench::quick_mode() ? 256 : 1024;
+  for (const int fanin : fanins) {
+    Cell c;
+    c.scenario = "wildcard_candidates";
+    c.depth = wc_depth;
+    c.fanin = fanin;
+    c.linear_ns = bench_wildcard(MatchKind::kLinear, wc_depth, fanin);
+    c.indexed_ns = bench_wildcard(MatchKind::kIndexed, wc_depth, fanin);
+    cells.push_back(c);
+  }
+
+  const double scan_p99 = indexed_scan_p99_bound();
+
+  TextTable table;
+  table.header({"scenario", "depth", "fan-in", "linear ns/op",
+                "indexed ns/op", "speedup"});
+  for (const Cell& c : cells) {
+    table.row({c.scenario, std::to_string(c.depth),
+               c.fanin > 0 ? std::to_string(c.fanin) : "-",
+               fmt_fixed(c.linear_ns, 1), fmt_fixed(c.indexed_ns, 1),
+               fmt_fixed(c.speedup(), 2) + "x"});
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf("indexed match.scan_length p99 bound: %.1f (1 sample/bucket-0 "
+              "means every query examined exactly one entry)\n\n",
+              scan_p99);
+
+  if (write_json("BENCH_matching.json", cells, scan_p99)) {
+    std::printf("wrote BENCH_matching.json\n");
+  } else {
+    std::printf("could not write BENCH_matching.json\n");
+    return 1;
+  }
+  std::printf("Shape check: linear ns/op grows linearly with depth while "
+              "indexed stays flat; at depth >= 1024 the speedup should "
+              "exceed 5x, and the indexed scan-length p99 bound must be "
+              "<= 2.0 (i.e. every scan examined one entry).\n");
+  return 0;
+}

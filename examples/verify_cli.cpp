@@ -93,6 +93,10 @@ int usage(const char* argv0) {
       "                         thread, or $DAMPI_SCHED when set)\n"
       "  --sched-seed N         seed for coop-random / coop-priority "
       "picks\n"
+      "  --match KIND           message matcher: indexed (O(1) lanes, "
+      "default)\n"
+      "                         or linear (scan oracle; $DAMPI_MATCH when "
+      "set)\n"
       "  --isp                  use the centralized ISP baseline instead\n"
       "  --save-repro FILE      write the first bug's epoch-decisions "
       "file\n"
@@ -121,6 +125,7 @@ int main(int argc, char** argv) {
   int auto_loop = 0;
   int jobs = 1;
   mpism::SchedOptions sched = mpism::default_sched_options();
+  mpism::MatchKind match = mpism::default_match_kind();
   bool use_isp = false;
   std::string save_repro_path;
   std::string replay_path;
@@ -184,6 +189,13 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage(argv[0]);
       sched.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--match") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      if (!mpism::parse_match_spec(v, &match)) {
+        std::printf("unknown --match value: %s\n", v);
+        return usage(argv[0]);
+      }
     } else if (arg == "--isp") {
       use_isp = true;
     } else if (arg == "--save-repro") {
@@ -253,6 +265,7 @@ int main(int argc, char** argv) {
   explorer_options.auto_loop_threshold = auto_loop;
   explorer_options.jobs = jobs;
   explorer_options.sched = sched;
+  explorer_options.match = match;
 
   if (!replay_path.empty()) {
     std::string error;
@@ -296,9 +309,10 @@ int main(int argc, char** argv) {
     result = verifier.verify(it->second);
   }
 
-  std::printf("program                : %s (%d ranks, %s, sched %s)\n",
+  std::printf("program                : %s (%d ranks, %s, sched %s, match "
+              "%s)\n",
               name.c_str(), procs, use_isp ? "ISP baseline" : "DAMPI",
-              mpism::sched_spec(sched).c_str());
+              mpism::sched_spec(sched).c_str(), mpism::match_spec(match));
   std::printf("%s", core::format_verify_result(result).c_str());
   if (result.exploration.bugs.empty()) return finish(0);
   if (!save_repro_path.empty()) {

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Perf smoke for the matching index: indexed must not lose to linear.
+
+Runs `bench_micro` twice — DAMPI_MATCH=linear, then DAMPI_MATCH=indexed —
+over the engine-path benchmarks the matcher sits on, and compares
+per-benchmark real_time. The indexed matcher is the default, so a run
+where it is meaningfully slower than the linear oracle is a regression
+worth failing on.
+
+Usage:
+  scripts/bench_compare.py [--bench PATH] [--tolerance FRAC] [--warn-only]
+
+Exit codes: 0 ok (or --warn-only), 1 regression, 2 cannot run bench.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+# Engine-path benchmarks: deep-queue wildcard matching is where the index
+# must win; ping-pong is the shallow-queue path where it must at least
+# not lose (within tolerance — it does constant hash work per message).
+FILTER = "BM_WildcardMatchDepth|BM_RuntimePingPong"
+
+
+def run_bench(bench, match_kind):
+    env = dict(os.environ, DAMPI_MATCH=match_kind)
+    cmd = [
+        bench,
+        f"--benchmark_filter={FILTER}",
+        "--benchmark_format=json",
+    ]
+    try:
+        out = subprocess.run(
+            cmd, env=env, capture_output=True, text=True, check=True
+        ).stdout
+    except (OSError, subprocess.CalledProcessError) as err:
+        print(f"bench_compare: cannot run {bench} ({err})", file=sys.stderr)
+        sys.exit(2)
+    results = {}
+    for entry in json.loads(out).get("benchmarks", []):
+        if entry.get("run_type") == "aggregate":
+            continue
+        results[entry["name"]] = float(entry["real_time"])
+    return results
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--bench",
+        default="build/bench/bench_micro",
+        help="path to the bench_micro binary",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.15,
+        help="allowed indexed/linear slowdown fraction (default 0.15)",
+    )
+    parser.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="report regressions but exit 0 (CI smoke mode)",
+    )
+    args = parser.parse_args()
+
+    if not os.path.exists(args.bench):
+        print(f"bench_compare: {args.bench} not built", file=sys.stderr)
+        sys.exit(2)
+
+    linear = run_bench(args.bench, "linear")
+    indexed = run_bench(args.bench, "indexed")
+    names = sorted(set(linear) & set(indexed))
+    if not names:
+        print("bench_compare: no comparable benchmarks ran", file=sys.stderr)
+        sys.exit(2)
+
+    regressions = []
+    print(f"{'benchmark':<40} {'linear':>12} {'indexed':>12} {'ratio':>7}")
+    for name in names:
+        ratio = indexed[name] / linear[name]
+        flag = ""
+        if ratio > 1.0 + args.tolerance:
+            regressions.append((name, ratio))
+            flag = "  <-- REGRESSION"
+        print(
+            f"{name:<40} {linear[name]:>10.0f}ns {indexed[name]:>10.0f}ns "
+            f"{ratio:>6.2f}x{flag}"
+        )
+
+    if regressions:
+        print(
+            f"bench_compare: indexed matcher slower than linear on "
+            f"{len(regressions)} benchmark(s) "
+            f"(tolerance {args.tolerance:.0%}):",
+            file=sys.stderr,
+        )
+        for name, ratio in regressions:
+            print(f"  {name}: {ratio:.2f}x", file=sys.stderr)
+        if not args.warn_only:
+            sys.exit(1)
+        print("bench_compare: --warn-only set, not failing", file=sys.stderr)
+    else:
+        print("bench_compare: indexed matcher holds up on every benchmark")
+
+
+if __name__ == "__main__":
+    main()

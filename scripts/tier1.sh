@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
 # Tier-1 gate: the full build + test sweep (once under the default
 # thread-per-rank scheduler, once with DAMPI_SCHED=coop so every test
-# also runs on the cooperative fiber scheduler), a trace smoke test (a
-# real workload exported with --trace must validate under trace_check),
-# a DAMPI_TRACE=OFF configure+build check, then the concurrent explorer
-# tests again under ThreadSanitizer (-DDAMPI_SANITIZE=thread; only the
-# `concurrency`-labelled tests rerun there, so the TSan stage stays
-# fast; coop fibers are unsupported under TSan and fall back to the
-# thread scheduler, which is exactly the path TSan can check).
+# also runs on the cooperative fiber scheduler, once with
+# DAMPI_MATCH=linear so every test also runs on the linear matching
+# oracle), a trace smoke test (a real workload exported with --trace
+# must validate under trace_check), a DAMPI_TRACE=OFF configure+build
+# check, a warn-only matcher perf smoke (bench_compare.py), then the
+# concurrent explorer tests again under ThreadSanitizer
+# (-DDAMPI_SANITIZE=thread; only the `concurrency`/`obs`/`match`
+# labelled tests rerun there, so the TSan stage stays fast; coop fibers
+# are unsupported under TSan and fall back to the thread scheduler,
+# which is exactly the path TSan can check).
 #
 # Usage: scripts/tier1.sh [--skip-tsan]
 set -euo pipefail
@@ -25,6 +28,13 @@ cmake --build build -j "${jobs}"
 (cd build && DAMPI_SCHED=coop ctest --output-on-failure -j "${jobs}")
 echo "tier1: coop-scheduler sweep OK"
 
+# And again with the linear matcher: DAMPI_MATCH swaps the default
+# matching structure, so every test not pinning one reruns on the
+# O(queue) scan oracle. Any behavioural gap between the matchers shows
+# up as a suite difference here.
+(cd build && DAMPI_MATCH=linear ctest --output-on-failure -j "${jobs}")
+echo "tier1: linear-matcher sweep OK"
+
 # Trace smoke test: a parallel exploration traced end to end must export
 # a valid Chrome trace with a lane per rank (4), per worker (3), and the
 # explorer lane.
@@ -39,12 +49,24 @@ cmake -B build-off -S . -DDAMPI_TRACE=OFF
 cmake --build build-off -j "${jobs}" --target verify_cli trace_check
 echo "tier1: DAMPI_TRACE=OFF build OK"
 
+# Perf smoke: the indexed matcher (the default) must not lose to the
+# linear oracle on the engine-path microbenchmarks. Warn-only — shared
+# CI hosts are too noisy to gate on, but the table lands in the log.
+if command -v python3 > /dev/null 2>&1; then
+  python3 scripts/bench_compare.py --warn-only
+  echo "tier1: matcher perf smoke OK"
+else
+  echo "tier1: python3 unavailable, skipping matcher perf smoke"
+fi
+
 if [[ "${1:-}" == "--skip-tsan" ]]; then
   echo "tier1: skipping ThreadSanitizer stage"
   exit 0
 fi
 
 cmake -B build-tsan -S . -DDAMPI_SANITIZE=thread
-cmake --build build-tsan -j "${jobs}" --target test_explorer_parallel test_obs
-(cd build-tsan && ctest --output-on-failure -L 'concurrency|obs' -j "${jobs}")
-echo "tier1: OK (including TSan concurrency + obs stage)"
+cmake --build build-tsan -j "${jobs}" \
+  --target test_explorer_parallel test_obs test_match_index
+(cd build-tsan && ctest --output-on-failure -L 'concurrency|obs|match' \
+  -j "${jobs}")
+echo "tier1: OK (including TSan concurrency + obs + match stage)"

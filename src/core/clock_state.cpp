@@ -1,5 +1,7 @@
 #include "core/clock_state.hpp"
 
+#include <cstring>
+
 #include "common/check.hpp"
 
 namespace dampi::core {
@@ -45,6 +47,20 @@ mpism::Bytes ClockState::serialize() const {
     return mpism::pack<std::uint64_t>(lamport_.value());
   }
   return mpism::pack_vec(vector_.components());
+}
+
+void ClockState::serialize_into(mpism::Bytes* out) const {
+  if (mode_ == ClockMode::kLamport) {
+    const std::uint64_t v = lamport_.value();
+    out->resize(sizeof(v));
+    std::memcpy(out->data(), &v, sizeof(v));
+    return;
+  }
+  const auto& components = vector_.components();
+  out->resize(components.size() * sizeof(VcValue));
+  if (!components.empty()) {
+    std::memcpy(out->data(), components.data(), out->size());
+  }
 }
 
 bool ClockState::is_late(

@@ -22,6 +22,10 @@ class ClockState {
   /// that predates instrumentation in tests).
   void merge(const mpism::Bytes& remote);
   mpism::Bytes serialize() const;
+  /// serialize() into a caller-owned buffer, reusing its capacity — the
+  /// per-send piggyback attach path latches into the same buffer every
+  /// time, so steady-state sends stop allocating.
+  void serialize_into(mpism::Bytes* out) const;
 
   std::uint64_t lamport_value() const { return lamport_.value(); }
   const std::vector<clocks::VectorClock::Value>& vector_components() const {

@@ -156,7 +156,7 @@ EpochRecord& DampiLayer::record_epoch(mpism::CommId comm, mpism::Tag tag,
 
 void DampiLayer::pre_isend(mpism::ToolCtx& ctx, mpism::SendCall& call) {
   if (options_.unsafe_monitor) unsafe_check(ctx, "send");
-  latch_send_clock_ = transmit_clock().serialize();
+  transmit_clock().serialize_into(&latch_send_clock_);
   DAMPI_TEVENT(obs::EventKind::kPiggybackAttach, obs::Phase::kInstant,
                static_cast<std::int32_t>(latch_send_clock_.size()));
   transport_->on_pre_send(ctx, call, latch_send_clock_);
@@ -298,7 +298,7 @@ void DampiLayer::post_probe(mpism::ToolCtx& ctx, const mpism::ProbeCall& call,
 
 void DampiLayer::pre_collective(mpism::ToolCtx& ctx, mpism::CollCall& call) {
   if (options_.unsafe_monitor) unsafe_check(ctx, "collective");
-  call.pb_contribution = transmit_clock().serialize();
+  transmit_clock().serialize_into(&call.pb_contribution);
 }
 
 void DampiLayer::post_collective(mpism::ToolCtx& ctx,

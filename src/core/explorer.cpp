@@ -82,6 +82,7 @@ SingleRun run_guided_once(const ExplorerOptions& options,
   run_options.policy = options.policy;
   run_options.policy_seed = options.policy_seed;
   run_options.sched = options.sched;
+  run_options.match = options.match;
   run_options.tools = make_dampi_setup(shared, board);
 
   SingleRun outcome;

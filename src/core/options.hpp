@@ -9,6 +9,7 @@
 
 #include "core/decision.hpp"
 #include "mpism/cost_model.hpp"
+#include "mpism/match_index.hpp"
 #include "mpism/policy.hpp"
 #include "mpism/scheduler.hpp"
 #include "mpism/tool.hpp"
@@ -101,6 +102,12 @@ struct ExplorerOptions {
   /// of (program, schedule, sched policy, sched seed) and scale to
   /// hundreds of ranks on one core. Defaults honor DAMPI_SCHED.
   mpism::SchedOptions sched = mpism::default_sched_options();
+
+  /// Message-matching structure for every run (discovery and replays):
+  /// indexed O(1) lanes (default) or the linear-scan oracle, bit-for-bit
+  /// equivalent and selectable for differential checks. Honors
+  /// DAMPI_MATCH.
+  mpism::MatchKind match = mpism::default_match_kind();
 
   /// Search budget.
   std::uint64_t max_interleavings = 1u << 20;

@@ -13,6 +13,7 @@ VerifyResult Verifier::verify(const mpism::ProgramFn& program,
     native.policy = options_.explorer.policy;
     native.policy_seed = options_.explorer.policy_seed;
     native.sched = options_.explorer.sched;
+    native.match = options_.explorer.match;
     mpism::Runtime runtime(std::move(native));
     const mpism::RunReport report = runtime.run(program);
     result.native_vtime_us = report.vtime_us;

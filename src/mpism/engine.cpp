@@ -42,19 +42,6 @@ bool leaves_to_root(CollKind kind) {
   return kind == CollKind::kReduce || kind == CollKind::kGather;
 }
 
-bool compatible(const RequestRecord& rec, const Envelope& env) {
-  return rec.comm == env.comm &&
-         (rec.posted_src_world == kAnySource ||
-          rec.posted_src_world == env.src_world) &&
-         (rec.posted_tag == kAnyTag || rec.posted_tag == env.tag);
-}
-
-bool env_matches(const Envelope& env, Rank src_world, Tag tag, CommId comm) {
-  return env.comm == comm &&
-         (src_world == kAnySource || env.src_world == src_world) &&
-         (tag == kAnyTag || env.tag == tag);
-}
-
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -114,6 +101,7 @@ Engine::Engine(RunOptions options) : opts_(std::move(options)) {
   ranks_.reserve(static_cast<std::size_t>(opts_.nprocs));
   for (int i = 0; i < opts_.nprocs; ++i) {
     ranks_.push_back(std::make_unique<PerRank>());
+    ranks_.back()->match = make_match_index(opts_.match);
   }
   comms_.init(opts_.nprocs);
   policy_ = make_policy(opts_.policy, opts_.policy_seed);
@@ -163,6 +151,33 @@ RunReport Engine::run(const ProgramFn& program) {
   runs_metric.add(1);
   messages_metric.add(messages_sent_);
   if (deadlocked_) deadlocks_metric.add(1);
+
+  // Pool effectiveness: acquired vs freelist-reused. A warm steady state
+  // shows reused converging on acquired (allocation-free matching).
+  static obs::Counter& req_acquired_metric =
+      obs::Registry::instance().counter("engine.pool.req_acquired");
+  static obs::Counter& req_reused_metric =
+      obs::Registry::instance().counter("engine.pool.req_reused");
+  static obs::Counter& node_acquired_metric =
+      obs::Registry::instance().counter("engine.pool.node_acquired");
+  static obs::Counter& node_reused_metric =
+      obs::Registry::instance().counter("engine.pool.node_reused");
+  static obs::Counter& buf_acquired_metric =
+      obs::Registry::instance().counter("engine.pool.buf_acquired");
+  static obs::Counter& buf_reused_metric =
+      obs::Registry::instance().counter("engine.pool.buf_reused");
+  req_acquired_metric.add(req_pool_.stats().acquired);
+  req_reused_metric.add(req_pool_.stats().reused);
+  PoolStats nodes;
+  for (const auto& pr_ptr : ranks_) {
+    const PoolStats s = pr_ptr->match->pool_stats();
+    nodes.acquired += s.acquired;
+    nodes.reused += s.reused;
+  }
+  node_acquired_metric.add(nodes.acquired);
+  node_reused_metric.add(nodes.reused);
+  buf_acquired_metric.add(buf_pool_.stats().acquired);
+  buf_reused_metric.add(buf_pool_.stats().reused);
   return report;
 }
 
@@ -339,7 +354,7 @@ RequestId Engine::do_isend(std::unique_lock<std::mutex>&, Rank r,
     // Eager sends complete immediately; synchronous sends only complete
     // when matched (rendezvous). Either way the user must still consume
     // the request (wait/test) — unconsumed send requests are leaks.
-    auto rec = std::make_unique<RequestRecord>();
+    PoolPtr<RequestRecord> rec = new_request();
     rec->id = next_req_id_++;
     rec->kind = ReqKind::kSend;
     rec->owner_world = r;
@@ -358,24 +373,25 @@ RequestId Engine::do_isend(std::unique_lock<std::mutex>&, Rank r,
   return id;
 }
 
+PoolPtr<RequestRecord> Engine::new_request() {
+  return PoolPtr<RequestRecord>(req_pool_.acquire(),
+                                PoolDeleter<RequestRecord>(&req_pool_));
+}
+
 bool Engine::match_arrival(Rank dst, Envelope&& env) {
   PerRank& receiver = pr(dst);
-  for (auto it = receiver.posted_recvs.begin();
-       it != receiver.posted_recvs.end(); ++it) {
-    auto found = receiver.reqs.find(*it);
-    DAMPI_CHECK(found != receiver.reqs.end());
-    RequestRecord& rec = *found->second;
-    if (compatible(rec, env)) {
-      DAMPI_TEVENT(obs::EventKind::kSendMatch, obs::Phase::kInstant,
-                   env.src_world, env.dst_world, env.tag);
-      receiver.posted_recvs.erase(it);
-      complete_recv(dst, rec, std::move(env));
-      return true;
-    }
+  // Earliest-posted compatible receive (the record stays owned by the
+  // request table; completion does not consume it).
+  RequestRecord* rec = receiver.match->match_posted(env);
+  if (rec != nullptr) {
+    DAMPI_TEVENT(obs::EventKind::kSendMatch, obs::Phase::kInstant,
+                 env.src_world, env.dst_world, env.tag);
+    complete_recv(dst, *rec, std::move(env));
+    return true;
   }
   DAMPI_TEVENT(obs::EventKind::kSendQueued, obs::Phase::kInstant,
                env.src_world, env.dst_world, env.tag);
-  receiver.unexpected.push_back(std::move(env));
+  receiver.match->push_unexpected(std::move(env));
   // A rank blocked in a probe may now have a matchable message.
   sched_->wake(dst);
   return false;
@@ -399,53 +415,11 @@ void Engine::complete_recv(Rank r, RequestRecord& rec, Envelope&& env) {
   sched_->wake(r);
 }
 
-std::vector<MatchCandidate> Engine::wildcard_candidates(Rank r, Tag tag,
-                                                        CommId comm) const {
-  // One candidate per source: the earliest (arrival order == per-source
-  // send order) compatible message — MPI's non-overtaking rule restricts
-  // a wildcard receive to exactly these heads.
-  const PerRank& me = *ranks_[static_cast<std::size_t>(r)];
-  std::map<Rank, MatchCandidate> heads;
-  for (const Envelope& env : me.unexpected) {
-    if (!env_matches(env, kAnySource, tag, comm)) continue;
-    if (env.tool_internal) continue;
-    if (heads.count(env.src_world) != 0) continue;
-    heads[env.src_world] =
-        MatchCandidate{env.src_world, env.tag, env.seq, env.msg_id};
-  }
-  std::vector<MatchCandidate> out;
-  out.reserve(heads.size());
-  for (auto& [src, cand] : heads) out.push_back(cand);
-  return out;
-}
-
-const Envelope* Engine::find_specific(Rank r, Rank src_world, Tag tag,
-                                      CommId comm) const {
-  const PerRank& me = *ranks_[static_cast<std::size_t>(r)];
-  for (const Envelope& env : me.unexpected) {
-    if (env_matches(env, src_world, tag, comm)) return &env;
-  }
-  return nullptr;
-}
-
-Envelope Engine::take_unexpected(Rank r, std::uint64_t msg_id) {
-  PerRank& me = pr(r);
-  for (auto it = me.unexpected.begin(); it != me.unexpected.end(); ++it) {
-    if (it->msg_id == msg_id) {
-      Envelope env = std::move(*it);
-      me.unexpected.erase(it);
-      return env;
-    }
-  }
-  DAMPI_CHECK_MSG(false, "unexpected message vanished");
-  return {};
-}
-
 RequestId Engine::do_irecv(std::unique_lock<std::mutex>&, Rank r,
                            Rank src_world, Tag tag, CommId comm,
                            bool tool_internal) {
   PerRank& me = pr(r);
-  auto rec = std::make_unique<RequestRecord>();
+  PoolPtr<RequestRecord> rec = new_request();
   rec->id = next_req_id_++;
   rec->kind = ReqKind::kRecv;
   rec->owner_world = r;
@@ -459,28 +433,29 @@ RequestId Engine::do_irecv(std::unique_lock<std::mutex>&, Rank r,
   me.reqs.emplace(id, std::move(rec));
 
   if (src_world == kAnySource) {
-    std::vector<MatchCandidate> cands = wildcard_candidates(r, tag, comm);
+    std::vector<MatchCandidate>& cands = me.cand_buf;
+    me.match->wildcard_candidates(tag, comm, &cands);
     if (!cands.empty()) {
       const std::size_t pick =
           cands.size() == 1 ? 0 : policy_->choose(cands);
       DAMPI_CHECK(pick < cands.size());
       DAMPI_TEVENT(obs::EventKind::kRecvMatch, obs::Phase::kInstant,
                    cands[pick].src_world, r, cands[pick].tag);
-      complete_recv(r, rec_ref, take_unexpected(r, cands[pick].msg_id));
+      complete_recv(r, rec_ref, me.match->take(cands[pick].msg_id));
       return id;
     }
   } else {
-    const Envelope* env = find_specific(r, src_world, tag, comm);
+    const Envelope* env = me.match->find_specific(src_world, tag, comm);
     if (env != nullptr) {
       DAMPI_TEVENT(obs::EventKind::kRecvMatch, obs::Phase::kInstant,
                    env->src_world, r, env->tag);
-      complete_recv(r, rec_ref, take_unexpected(r, env->msg_id));
+      complete_recv(r, rec_ref, me.match->take(env->msg_id));
       return id;
     }
   }
   DAMPI_TEVENT(obs::EventKind::kRecvPost, obs::Phase::kInstant, src_world, 0,
                tag);
-  me.posted_recvs.push_back(id);
+  me.match->post_recv(&rec_ref);
   return id;
 }
 
@@ -505,7 +480,7 @@ Status Engine::finish_request(std::unique_lock<std::mutex>& lk, Rank r,
   // Extract the record so hook-issued raw operations cannot invalidate it.
   auto node = me.reqs.extract(req);
   DAMPI_CHECK_MSG(!node.empty(), "request vanished during completion");
-  std::unique_ptr<RequestRecord> rec = std::move(node.mapped());
+  PoolPtr<RequestRecord> rec = std::move(node.mapped());
   DAMPI_CHECK(rec->complete);
 
   Status status;
@@ -544,8 +519,13 @@ Status Engine::finish_request(std::unique_lock<std::mutex>& lk, Rank r,
     status = completion.status;
   }
 
-  if (out != nullptr && rec->kind == ReqKind::kRecv) {
-    *out = std::move(rec->msg.payload);
+  if (rec->kind == ReqKind::kRecv) {
+    if (out != nullptr) {
+      *out = std::move(rec->msg.payload);
+    } else {
+      // Dropped payload: keep its capacity for the next internal copy.
+      buf_pool_.recycle(std::move(rec->msg.payload));
+    }
   }
   return status;
 }
@@ -789,9 +769,10 @@ Status Engine::api_probe(Rank r, Rank src, Tag tag, CommId comm, bool* flag) {
 
   auto exists = [&]() -> bool {
     if (src_world == kAnySource) {
-      return !wildcard_candidates(r, call.tag, call.comm).empty();
+      return pr(r).match->has_candidates(call.tag, call.comm);
     }
-    return find_specific(r, src_world, call.tag, call.comm) != nullptr;
+    return pr(r).match->find_specific(src_world, call.tag, call.comm) !=
+           nullptr;
   };
 
   bool found = exists();
@@ -808,19 +789,14 @@ Status Engine::api_probe(Rank r, Rank src, Tag tag, CommId comm, bool* flag) {
   if (found) {
     const Envelope* env = nullptr;
     if (src_world == kAnySource) {
-      std::vector<MatchCandidate> cands =
-          wildcard_candidates(r, call.tag, call.comm);
+      std::vector<MatchCandidate>& cands = pr(r).cand_buf;
+      pr(r).match->wildcard_candidates(call.tag, call.comm, &cands);
       DAMPI_CHECK(!cands.empty());
       const std::size_t pick =
           cands.size() == 1 ? 0 : policy_->choose(cands);
-      for (const Envelope& e : pr(r).unexpected) {
-        if (e.msg_id == cands[pick].msg_id) {
-          env = &e;
-          break;
-        }
-      }
+      env = pr(r).match->find_by_id(cands[pick].msg_id);
     } else {
-      env = find_specific(r, src_world, call.tag, call.comm);
+      env = pr(r).match->find_specific(src_world, call.tag, call.comm);
     }
     DAMPI_CHECK(env != nullptr);
     status.source = comms_.to_rel(call.comm, env->src_world);
@@ -856,7 +832,7 @@ Bytes Engine::apply_reduce(std::unique_lock<std::mutex>& lk, Rank r,
   const bool is_f64 = slot.op == ReduceOp::kSumF64 ||
                       slot.op == ReduceOp::kMaxF64 ||
                       slot.op == ReduceOp::kMinF64;
-  Bytes out = slot.data[0];
+  Bytes out = buf_pool_.copy_of(slot.data[0]);
   for (int m = 1; m < comm_rec.size(); ++m) {
     const Bytes& in = slot.data[static_cast<std::size_t>(m)];
     for (std::size_t w = 0; w < words; ++w) {
@@ -1039,7 +1015,8 @@ CollUserResult Engine::collective_impl(Rank r, CollKind kind, CommId comm,
     case CollKind::kBarrier:
       break;
     case CollKind::kBcast:
-      result.single = slot.data[static_cast<std::size_t>(root_rel)];
+      result.single =
+          buf_pool_.copy_of(slot.data[static_cast<std::size_t>(root_rel)]);
       break;
     case CollKind::kReduce:
       if (cr == root_rel) {
@@ -1047,7 +1024,7 @@ CollUserResult Engine::collective_impl(Rank r, CollKind kind, CommId comm,
           slot.reduced = apply_reduce(lk, r, slot, comm_rec);
           slot.reduced_done = true;
         }
-        result.single = slot.reduced;
+        result.single = buf_pool_.copy_of(slot.reduced);
       }
       break;
     case CollKind::kAllreduce:
@@ -1055,14 +1032,14 @@ CollUserResult Engine::collective_impl(Rank r, CollKind kind, CommId comm,
         slot.reduced = apply_reduce(lk, r, slot, comm_rec);
         slot.reduced_done = true;
       }
-      result.single = slot.reduced;
+      result.single = buf_pool_.copy_of(slot.reduced);
       break;
     case CollKind::kGather:
       if (cr == root_rel) result.multi = slot.data;
       break;
     case CollKind::kScatter: {
       const auto& slices = slot.multi[static_cast<std::size_t>(root_rel)];
-      result.single = slices[static_cast<std::size_t>(cr)];
+      result.single = buf_pool_.copy_of(slices[static_cast<std::size_t>(cr)]);
       break;
     }
     case CollKind::kAllgather:
@@ -1074,7 +1051,7 @@ CollUserResult Engine::collective_impl(Rank r, CollKind kind, CommId comm,
         const auto& their = slot.multi[static_cast<std::size_t>(m)];
         if (static_cast<int>(their.size()) == size) {
           result.multi[static_cast<std::size_t>(m)] =
-              their[static_cast<std::size_t>(cr)];
+              buf_pool_.copy_of(their[static_cast<std::size_t>(cr)]);
         }
       }
       break;
@@ -1127,19 +1104,28 @@ CollUserResult Engine::collective_impl(Rank r, CollKind kind, CommId comm,
       }
       if (slot.merged_pb_done) {
         tool_result->has_incoming = true;
-        tool_result->incoming = slot.merged_pb;
+        tool_result->incoming = buf_pool_.copy_of(slot.merged_pb);
       }
     } else if (root_to_leaves(kind) && cr != root_rel) {
       const Bytes& root_pb = slot.pb[static_cast<std::size_t>(root_rel)];
       if (!root_pb.empty()) {
         tool_result->has_incoming = true;
-        tool_result->incoming = root_pb;
+        tool_result->incoming = buf_pool_.copy_of(root_pb);
       }
     }
   }
 
   ++slot.departed;
   if (slot.departed == size) {
+    // The slot's scratch buffers are dead; keep their capacity so the
+    // next collective round's contributions and copies do not allocate.
+    for (Bytes& b : slot.pb) buf_pool_.recycle(std::move(b));
+    for (Bytes& b : slot.data) buf_pool_.recycle(std::move(b));
+    for (auto& v : slot.multi) {
+      for (Bytes& b : v) buf_pool_.recycle(std::move(b));
+    }
+    buf_pool_.recycle(std::move(slot.merged_pb));
+    buf_pool_.recycle(std::move(slot.reduced));
     coll_slots_.erase({comm, gen});
   }
   DAMPI_TEVENT(obs::EventKind::kCollective, obs::Phase::kEnd,
@@ -1271,18 +1257,14 @@ bool Engine::raw_iprobe(Rank r, Rank src, Tag tag, CommId comm,
   const Rank src_world = comms_.to_world(comm, src);
   const Envelope* env = nullptr;
   if (src_world == kAnySource) {
-    std::vector<MatchCandidate> cands = wildcard_candidates(r, tag, comm);
+    std::vector<MatchCandidate>& cands = pr(r).cand_buf;
+    pr(r).match->wildcard_candidates(tag, comm, &cands);
     if (!cands.empty()) {
       // Deterministic head (lowest source) — tool drains need no policy.
-      for (const Envelope& e : pr(r).unexpected) {
-        if (e.msg_id == cands.front().msg_id) {
-          env = &e;
-          break;
-        }
-      }
+      env = pr(r).match->find_by_id(cands.front().msg_id);
     }
   } else {
-    env = find_specific(r, src_world, tag, comm);
+    env = pr(r).match->find_specific(src_world, tag, comm);
   }
   if (env == nullptr) {
     sched_->yield(lk, r);

@@ -23,6 +23,8 @@
 
 #include "mpism/comm.hpp"
 #include "mpism/envelope.hpp"
+#include "mpism/match_index.hpp"
+#include "mpism/pool.hpp"
 #include "mpism/report.hpp"
 #include "mpism/request.hpp"
 #include "mpism/runtime.hpp"
@@ -115,9 +117,14 @@ class Engine {
     /// detector so a satisfied-but-not-yet-woken rank is not misread as
     /// stuck.
     std::function<bool()> block_pred;
-    std::deque<RequestId> posted_recvs;  ///< pending receives, post order
-    std::deque<Envelope> unexpected;     ///< unmatched arrivals, arrival order
-    std::unordered_map<RequestId, std::unique_ptr<RequestRecord>> reqs;
+    /// Unexpected-message and posted-receive queues (linear or indexed,
+    /// per RunOptions::match). Holds non-owning pointers into `reqs` for
+    /// posted receives; a record stays indexed until matched.
+    std::unique_ptr<MatchIndex> match;
+    /// Wildcard-candidate out-buffer, reused across queries so the hot
+    /// path stops allocating a vector per receive/probe.
+    std::vector<MatchCandidate> cand_buf;
+    std::unordered_map<RequestId, PoolPtr<RequestRecord>> reqs;
     std::unordered_map<CommId, std::uint64_t> coll_gen;
     std::vector<std::unique_ptr<ToolLayer>> tools;
     std::unique_ptr<ToolCtx> ctx;
@@ -163,15 +170,9 @@ class Engine {
   /// Try to match a newly arrived envelope against r's posted receives.
   /// Returns true when matched (request completed).
   bool match_arrival(Rank dst, Envelope&& env);
-  /// Candidate heads for a wildcard receive/probe at rank r.
-  std::vector<MatchCandidate> wildcard_candidates(Rank r, Tag tag,
-                                                  CommId comm) const;
-  /// Earliest compatible unexpected message from a specific source.
-  const Envelope* find_specific(Rank r, Rank src_world, Tag tag,
-                                CommId comm) const;
   void complete_recv(Rank r, RequestRecord& rec, Envelope&& env);
-  /// Remove the unexpected message with the given msg_id.
-  Envelope take_unexpected(Rank r, std::uint64_t msg_id);
+  /// Fresh pooled request record (engine-wide slab pool).
+  PoolPtr<RequestRecord> new_request();
 
   /// Enter the blocked state and wait for `pred`; throws AbortRun when the
   /// run aborts or deadlocks while waiting.
@@ -231,6 +232,10 @@ class Engine {
   RunOptions opts_;
   std::mutex mu_;
   std::unique_ptr<RankScheduler> sched_;
+  /// Pools are declared before ranks_ so they outlive the request tables
+  /// and match indexes that release into them during teardown.
+  SlabPool<RequestRecord> req_pool_;
+  BufferPool buf_pool_;
   std::vector<std::unique_ptr<PerRank>> ranks_;
   CommTable comms_;
   std::unique_ptr<MatchPolicy> policy_;

@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "mpism/cost_model.hpp"
+#include "mpism/match_index.hpp"
 #include "mpism/policy.hpp"
 #include "mpism/proc.hpp"
 #include "mpism/report.hpp"
@@ -31,6 +32,9 @@ struct RunOptions {
   /// How ranks execute and who advances next (thread-per-rank, or
   /// deterministic run-to-block fibers). Defaults honor DAMPI_SCHED.
   SchedOptions sched = default_sched_options();
+  /// Message-matching structure: indexed O(1) lanes (default) or the
+  /// linear scan kept as the differential oracle. Honors DAMPI_MATCH.
+  MatchKind match = default_match_kind();
   /// Interposition stack; empty means a native (uninstrumented) run.
   ToolSetup tools;
 };
