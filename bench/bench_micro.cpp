@@ -129,6 +129,59 @@ BENCHMARK(BM_InstrumentationWallOverhead)
     ->Arg(1)
     ->ArgNames({"instrumented"});
 
+/// Arms every per-run watchdog budget far above what the run uses, so
+/// the measured delta is pure bookkeeping: one branch + counter + clock
+/// read per op entry (engine mutex already held).
+void arm_generous_watchdogs(mpism::RunOptions& options) {
+  options.max_run_wall_seconds = 3600.0;
+  options.max_run_vtime_us = 1e15;
+  options.max_ops = 1ull << 60;
+}
+
+/// Watchdog cost on the hot 2-rank path: identical ping-pong runs with
+/// budgets unarmed (0) vs armed (1). EXPERIMENTS.md records the delta.
+void BM_WatchdogOverheadPingPong(benchmark::State& state) {
+  const bool armed = state.range(0) != 0;
+  const int rounds = 1024;
+  for (auto _ : state) {
+    mpism::RunOptions options;
+    options.nprocs = 2;
+    if (armed) arm_generous_watchdogs(options);
+    mpism::Runtime runtime(std::move(options));
+    const auto report = runtime.run([](mpism::Proc& p) {
+      for (int i = 0; i < rounds; ++i) {
+        if (p.rank() == 0) {
+          p.send(1, 1, mpism::pack<int>(i));
+          p.recv(1, 2);
+        } else {
+          p.recv(0, 1);
+          p.send(0, 2, mpism::pack<int>(i));
+        }
+      }
+    });
+    if (!report.completed) state.SkipWithError("run failed");
+  }
+  state.SetItemsProcessed(state.iterations() * rounds * 2);
+}
+BENCHMARK(BM_WatchdogOverheadPingPong)->Arg(0)->Arg(1)->ArgNames({"armed"});
+
+/// Watchdog cost at scale: a 256-rank coop-fiber fan-in, unarmed vs
+/// armed (falls back to the thread scheduler under sanitizers).
+void BM_WatchdogOverheadRanks256(benchmark::State& state) {
+  const bool armed = state.range(0) != 0;
+  for (auto _ : state) {
+    mpism::RunOptions options;
+    options.nprocs = 256;
+    mpism::parse_sched_spec("coop", &options.sched);
+    if (armed) arm_generous_watchdogs(options);
+    mpism::Runtime runtime(std::move(options));
+    const auto report = runtime.run(
+        [](mpism::Proc& p) { workloads::fan_in_rounds(p, 1); });
+    if (!report.completed) state.SkipWithError("run failed");
+  }
+}
+BENCHMARK(BM_WatchdogOverheadRanks256)->Arg(0)->Arg(1)->ArgNames({"armed"});
+
 }  // namespace
 
 BENCHMARK_MAIN();

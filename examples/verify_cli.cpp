@@ -9,15 +9,22 @@
 // Programs: the paper's pattern fixtures, matmult, mini-ADLB, the
 // ParMETIS proxy, and every Table II suite entry by name (104.milc, BT,
 // LU, ...).
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <functional>
 #include <map>
 #include <string>
+#include <thread>
 
+#include "core/checkpoint.hpp"
 #include "core/decision_io.hpp"
 #include "core/report_format.hpp"
 #include "core/verifier.hpp"
+#include "mpism/cancel.hpp"
+#include "mpism/fault.hpp"
 #include "isp/isp_verifier.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/metrics.hpp"
@@ -41,6 +48,7 @@ std::map<std::string, mpism::ProgramFn> program_registry() {
   programs["deadlock"] = workloads::simple_deadlock;
   programs["wildcard-deadlock"] = workloads::wildcard_dependent_deadlock;
   programs["leaky"] = workloads::leaky_program;
+  programs["livelock"] = workloads::livelock;
   programs["matmult"] = [](mpism::Proc& p) {
     workloads::MatmultConfig config;
     config.n = 8;
@@ -106,9 +114,44 @@ int usage(const char* argv0) {
       "run\n"
       "                         (open in chrome://tracing or Perfetto)\n"
       "  --trace-capacity N     events retained per lane (default 16384)\n"
-      "  --metrics              print the metrics registry after the run\n",
+      "  --metrics              print the metrics registry after the run\n"
+      "resilience options:\n"
+      "  --run-deadline SEC     per-run watchdog: kill any single run "
+      "after\n"
+      "                         SEC wall seconds and report it as a HANG\n"
+      "  --run-max-ops N        per-run watchdog on executed MPI "
+      "operations\n"
+      "  --max-wall-seconds S   global budget; cancels even an in-flight "
+      "run\n"
+      "  --retries N            re-run failed replays up to N times with\n"
+      "                         exponential backoff before quarantining\n"
+      "  --fault SPEC           deterministic fault injection, e.g.\n"
+      "                         abort@1:3,delay@0:2:5000,flaky@1:1:2\n"
+      "                         (kinds: abort, error, delay, flaky; "
+      "points\n"
+      "                         are rank:op-index, op indices 1-based)\n"
+      "  --checkpoint FILE      journal the DFS frontier to FILE (atomic\n"
+      "                         rename) for crash-safe --resume\n"
+      "  --checkpoint-interval N  journal every N interleavings (default "
+      "64)\n"
+      "  --resume               continue from --checkpoint FILE instead "
+      "of\n"
+      "                         starting over (options must match)\n"
+      "exit codes: 0 clean, 1 bug(s) found, 2 budget exhausted / "
+      "interrupted /\n"
+      "            quarantined subtrees, 3 usage or internal error\n",
       argv0, argv0);
-  return 2;
+  return 3;
+}
+
+/// SIGINT lands here; a bridge thread polls the flag and fires the
+/// CancelSource (not async-signal-safe, so it cannot run in the
+/// handler). A second ^C gets the default disposition: immediate death.
+volatile std::sig_atomic_t g_sigint = 0;
+
+void handle_sigint(int) {
+  g_sigint = 1;
+  std::signal(SIGINT, SIG_DFL);
 }
 
 }  // namespace
@@ -132,6 +175,14 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::size_t trace_capacity = 0;
   bool print_metrics = false;
+  double run_deadline_seconds = 0.0;
+  std::uint64_t run_max_ops = 0;
+  double max_wall_seconds = 0.0;  // 0 = unlimited
+  int retries = 0;
+  std::string fault_spec_arg;
+  std::string checkpoint_path;
+  std::uint64_t checkpoint_interval = 64;
+  bool resume = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -216,6 +267,36 @@ int main(int argc, char** argv) {
       trace_capacity = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
     } else if (arg == "--metrics") {
       print_metrics = true;
+    } else if (arg == "--run-deadline") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      run_deadline_seconds = std::atof(v);
+    } else if (arg == "--run-max-ops") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      run_max_ops = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--max-wall-seconds") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      max_wall_seconds = std::atof(v);
+    } else if (arg == "--retries") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      retries = std::atoi(v);
+    } else if (arg == "--fault") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      fault_spec_arg = v;
+    } else if (arg == "--checkpoint") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      checkpoint_path = v;
+    } else if (arg == "--checkpoint-interval") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      checkpoint_interval = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--resume") {
+      resume = true;
     } else {
       std::printf("unknown option: %s\n", arg.c_str());
       return usage(argv[0]);
@@ -247,7 +328,7 @@ int main(int argc, char** argv) {
         std::printf("trace written          : %s\n", trace_path.c_str());
       } else {
         std::printf("could not write trace %s\n", trace_path.c_str());
-        code = code == 0 ? 2 : code;
+        code = code == 0 ? 3 : code;
       }
     }
     if (print_metrics) {
@@ -266,16 +347,72 @@ int main(int argc, char** argv) {
   explorer_options.jobs = jobs;
   explorer_options.sched = sched;
   explorer_options.match = match;
+  explorer_options.run_deadline_seconds = run_deadline_seconds;
+  explorer_options.max_run_ops = run_max_ops;
+  if (max_wall_seconds > 0.0) {
+    explorer_options.max_wall_seconds = max_wall_seconds;
+  }
+  explorer_options.max_retries = retries;
+  explorer_options.checkpoint_path = checkpoint_path;
+  explorer_options.checkpoint_interval = checkpoint_interval;
+  explorer_options.checkpoint_tag = name;
+  if (!fault_spec_arg.empty()) {
+    std::string error;
+    explorer_options.fault = mpism::parse_fault_plan(fault_spec_arg, &error);
+    if (!explorer_options.fault) {
+      std::printf("bad --fault spec: %s\n", error.c_str());
+      return usage(argv[0]);
+    }
+  }
+  if (resume) {
+    if (checkpoint_path.empty()) {
+      std::printf("--resume requires --checkpoint FILE\n");
+      return usage(argv[0]);
+    }
+    std::string error;
+    auto cp = core::load_checkpoint(
+        checkpoint_path, core::options_fingerprint(explorer_options), &error);
+    if (!cp.has_value()) {
+      std::printf("cannot resume from %s: %s\n", checkpoint_path.c_str(),
+                  error.c_str());
+      return 3;
+    }
+    explorer_options.resume_from =
+        std::make_shared<core::Checkpoint>(std::move(*cp));
+  }
+
+  // ^C cancels the campaign cooperatively: in-flight runs unwind, the
+  // final checkpoint flush journals the frontier, and the partial
+  // report is still printed.
+  auto cancel = std::make_shared<mpism::CancelSource>();
+  explorer_options.cancel = cancel;
+  std::signal(SIGINT, handle_sigint);
+  std::atomic<bool> bridge_stop{false};
+  std::thread sigint_bridge([&] {
+    while (!bridge_stop.load(std::memory_order_acquire)) {
+      if (g_sigint != 0) {
+        cancel->cancel("SIGINT");
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+  });
+  auto stop_bridge = [&] {
+    bridge_stop.store(true, std::memory_order_release);
+    if (sigint_bridge.joinable()) sigint_bridge.join();
+  };
 
   if (!replay_path.empty()) {
     std::string error;
     const auto schedule = core::load_schedule(replay_path, &error);
     if (!schedule.has_value()) {
       std::printf("cannot load %s: %s\n", replay_path.c_str(), error.c_str());
-      return 2;
+      stop_bridge();
+      return 3;
     }
     const auto run =
         core::run_guided_once(explorer_options, *schedule, it->second);
+    stop_bridge();
     std::printf("replay of %s (%zu decisions):\n", replay_path.c_str(),
                 schedule->forced.size());
     if (run.report.deadlocked) {
@@ -290,6 +427,14 @@ int main(int argc, char** argv) {
                     error_info.message.c_str());
       }
       return finish(1);
+    }
+    if (run.report.timed_out) {
+      std::printf("HANG reproduced: %s\n", run.report.stop_reason.c_str());
+      return finish(1);
+    }
+    if (run.report.cancelled) {
+      std::printf("replay interrupted: %s\n", run.report.stop_reason.c_str());
+      return finish(2);
     }
     std::printf("run completed cleanly (divergences: %llu)\n",
                 static_cast<unsigned long long>(run.divergences));
@@ -308,13 +453,23 @@ int main(int argc, char** argv) {
     core::Verifier verifier(options);
     result = verifier.verify(it->second);
   }
+  stop_bridge();
 
   std::printf("program                : %s (%d ranks, %s, sched %s, match "
               "%s)\n",
               name.c_str(), procs, use_isp ? "ISP baseline" : "DAMPI",
               mpism::sched_spec(sched).c_str(), mpism::match_spec(match));
   std::printf("%s", core::format_verify_result(result).c_str());
-  if (result.exploration.bugs.empty()) return finish(0);
+  const core::ExploreResult& e = result.exploration;
+  if (e.bugs.empty()) {
+    // No verdicts, but a partial search is not a clean bill of health:
+    // exhausted budgets, interruption, and quarantined subtrees all mean
+    // coverage is incomplete.
+    const bool partial = e.interleaving_budget_exhausted ||
+                         e.time_budget_exhausted || e.interrupted ||
+                         e.quarantined > 0;
+    return finish(partial ? 2 : 0);
+  }
   if (!save_repro_path.empty()) {
     if (core::save_schedule(result.exploration.bugs.front().schedule,
                             save_repro_path)) {

@@ -3,7 +3,10 @@
 # thread-per-rank scheduler, once with DAMPI_SCHED=coop so every test
 # also runs on the cooperative fiber scheduler, once with
 # DAMPI_MATCH=linear so every test also runs on the linear matching
-# oracle), a trace smoke test (a real workload exported with --trace
+# oracle), the resilience stage (resil-labelled tests, the verify_cli
+# exit-code contract, a livelock watchdog sweep across schedulers and
+# jobs widths, and a SIGINT kill + --resume determinism smoke), a trace
+# smoke test (a real workload exported with --trace
 # must validate under trace_check), a DAMPI_TRACE=OFF configure+build
 # check, a warn-only matcher perf smoke (bench_compare.py), then the
 # concurrent explorer tests again under ThreadSanitizer
@@ -35,12 +38,89 @@ echo "tier1: coop-scheduler sweep OK"
 (cd build && DAMPI_MATCH=linear ctest --output-on-failure -j "${jobs}")
 echo "tier1: linear-matcher sweep OK"
 
+# Resilience tests on their own label, so the stage shows up by name in
+# the log even though the default sweep above already ran them.
+(cd build && ctest --output-on-failure -L resil -j "${jobs}")
+echo "tier1: resil sweep OK"
+
+# Exit-code contract: 0 clean, 1 bugs, 2 partial coverage (budget /
+# interrupted / quarantined), 3 usage or internal error.
+expect_exit() {
+  local want="$1"
+  shift
+  local got=0
+  "$@" > /dev/null 2>&1 || got=$?
+  if [[ "${got}" != "${want}" ]]; then
+    echo "tier1: FAIL: expected exit ${want}, got ${got}: $*" >&2
+    exit 1
+  fi
+}
+expect_exit 0 build/examples/verify_cli --program fig3-benign --procs 3
+expect_exit 1 build/examples/verify_cli --program fig3 --procs 3
+expect_exit 2 build/examples/verify_cli --program fig3-benign --procs 3 \
+  --max-interleavings 1
+expect_exit 3 build/examples/verify_cli --program no-such-program
+echo "tier1: exit-code contract OK"
+
+# Watchdog end-to-end: the livelocked example must become a HANG verdict
+# (exit 1) under both schedulers at every jobs width, well inside the
+# deadline instead of wedging the campaign.
+for sched in thread coop; do
+  for w in 1 4; do
+    out="$(timeout 60 build/examples/verify_cli --program livelock \
+      --procs 2 --sched "${sched}" --jobs "${w}" --run-deadline 2 \
+      --max-interleavings 4)" && rc=0 || rc=$?
+    if [[ "${rc}" != 1 ]] || ! grep -q "HANG (watchdog)" <<< "${out}"; then
+      echo "tier1: FAIL: livelock sched=${sched} jobs=${w} rc=${rc}" >&2
+      exit 1
+    fi
+  done
+done
+echo "tier1: livelock watchdog sweep OK"
+
+# Kill/resume smoke: SIGINT a checkpointing exploration mid-flight, then
+# --resume it; the resumed campaign must report exactly what an
+# uninterrupted one does (works even if the signal lands after the walk
+# finished — then the resume is a no-op continuation).
+ckpt="build/tier1-resume.ckpt"
+rm -f "${ckpt}"
+baseline_rc=0
+baseline="$(build/examples/verify_cli --program matmult --procs 4 \
+  --sched coop --max-interleavings 150)" || baseline_rc=$?
+build/examples/verify_cli --program matmult --procs 4 --sched coop \
+  --max-interleavings 150 --checkpoint "${ckpt}" \
+  --checkpoint-interval 5 > /dev/null &
+pid=$!
+sleep 0.4
+kill -INT "${pid}" 2> /dev/null || true
+wait "${pid}" || true
+resumed_rc=0
+resumed="$(build/examples/verify_cli --program matmult --procs 4 \
+  --sched coop --max-interleavings 150 --checkpoint "${ckpt}" \
+  --resume)" || resumed_rc=$?
+filter() { grep -E "interleavings explored|verdict" <<< "$1" | \
+  sed 's/ (interrupted)//'; }
+if [[ "${resumed_rc}" != "${baseline_rc}" ]] || \
+   [[ "$(filter "${baseline}")" != "$(filter "${resumed}")" ]]; then
+  echo "tier1: FAIL: resume mismatch (rc ${baseline_rc} vs ${resumed_rc})" >&2
+  diff <(filter "${baseline}") <(filter "${resumed}") >&2 || true
+  exit 1
+fi
+rm -f "${ckpt}"
+echo "tier1: SIGINT kill/resume smoke OK"
+
 # Trace smoke test: a parallel exploration traced end to end must export
 # a valid Chrome trace with a lane per rank (4), per worker (3), and the
-# explorer lane.
+# explorer lane. Exit 2 is expected: 200 interleavings do not finish
+# matmult's decision space (partial coverage is the point of the smoke).
 trace_out="build/tier1-trace.json"
+trace_rc=0
 build/examples/verify_cli --program matmult --procs 4 --jobs 4 \
-  --max-interleavings 200 --trace "${trace_out}" > /dev/null
+  --max-interleavings 200 --trace "${trace_out}" > /dev/null || trace_rc=$?
+if [[ "${trace_rc}" != 0 && "${trace_rc}" != 2 ]]; then
+  echo "tier1: FAIL: trace smoke exited ${trace_rc}" >&2
+  exit 1
+fi
 build/src/obs/trace_check "${trace_out}" --min-lanes 8
 rm -f "${trace_out}"
 

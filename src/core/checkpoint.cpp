@@ -1,0 +1,327 @@
+#include "core/checkpoint.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/strutil.hpp"
+#include "core/decision_io.hpp"
+
+namespace dampi::core {
+
+namespace {
+
+/// FNV-1a over the pinned initial schedule so the fingerprint stays one
+/// line regardless of how many decisions were pinned.
+std::uint64_t hash_schedule(const Schedule& schedule) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const auto& [key, src] : schedule.forced) {
+    for (const std::uint64_t v :
+         {static_cast<std::uint64_t>(key.rank), key.nd_index,
+          static_cast<std::uint64_t>(src)}) {
+      h ^= v;
+      h *= 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+/// One-line-safe encoding for error messages / deadlock details.
+std::string escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string unescape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] != '\\' || i + 1 == text.size()) {
+      out += text[i];
+      continue;
+    }
+    ++i;
+    switch (text[i]) {
+      case 'n':
+        out += '\n';
+        break;
+      case 'r':
+        out += '\r';
+        break;
+      default:
+        out += text[i];
+    }
+  }
+  return out;
+}
+
+/// The remainder of `line` after the leading keyword and one space.
+std::string rest_of_line(const std::string& line, std::size_t keyword_len) {
+  if (line.size() <= keyword_len + 1) return "";
+  return line.substr(keyword_len + 1);
+}
+
+}  // namespace
+
+std::string options_fingerprint(const ExplorerOptions& options) {
+  std::string mix = "none";
+  if (options.mixing_bound.has_value()) {
+    mix = strfmt("%d", *options.mixing_bound);
+  }
+  std::string fp = strfmt(
+      "nprocs=%d clock=%d transport=%d mix=%s loopabs=%d unsafe=%d "
+      "autoloop=%d defsync=%d sched=%s schedseed=%llu match=%s policy=%d "
+      "pseed=%llu init=%016llx",
+      options.nprocs, static_cast<int>(options.clock_mode),
+      static_cast<int>(options.transport), mix.c_str(),
+      options.loop_abstraction ? 1 : 0, options.unsafe_monitor ? 1 : 0,
+      options.auto_loop_threshold, options.deferred_clock_sync ? 1 : 0,
+      mpism::sched_spec(options.sched).c_str(),
+      static_cast<unsigned long long>(options.sched.seed),
+      mpism::match_spec(options.match), static_cast<int>(options.policy),
+      static_cast<unsigned long long>(options.policy_seed),
+      static_cast<unsigned long long>(hash_schedule(options.initial_schedule)));
+  fp += " fault=";
+  fp += options.fault ? fault_spec(*options.fault) : "none";
+  if (!options.checkpoint_tag.empty()) {
+    fp += " tag=" + options.checkpoint_tag;
+  }
+  return fp;
+}
+
+std::string serialize_checkpoint(const Checkpoint& checkpoint) {
+  std::string out = kCheckpointHeader;
+  out += '\n';
+  out += "options " + checkpoint.fingerprint + '\n';
+  out += strfmt("interleavings %llu\n",
+                static_cast<unsigned long long>(checkpoint.interleavings));
+  out += strfmt("counters %llu %llu %llu %llu %llu\n",
+                static_cast<unsigned long long>(checkpoint.retries),
+                static_cast<unsigned long long>(checkpoint.timeouts),
+                static_cast<unsigned long long>(checkpoint.quarantined),
+                static_cast<unsigned long long>(checkpoint.divergences),
+                static_cast<unsigned long long>(checkpoint.prefix_mismatches));
+  for (const DfsFrame& frame : checkpoint.frames) {
+    out += strfmt("frame %d %llu %llu %d %d %d u %zu", frame.key.rank,
+                  static_cast<unsigned long long>(frame.key.nd_index),
+                  static_cast<unsigned long long>(frame.lc), frame.taken_src,
+                  frame.record_alts ? 1 : 0, frame.mix_budget,
+                  frame.untried.size());
+    for (const mpism::Rank src : frame.untried) {
+      out += strfmt(" %d", src);
+    }
+    out += strfmt(" s %zu", frame.seen.size());
+    for (const mpism::Rank src : frame.seen) {
+      out += strfmt(" %d", src);
+    }
+    out += '\n';
+  }
+  for (const BugRecord& bug : checkpoint.bugs) {
+    out += strfmt("bug %d %llu\n", static_cast<int>(bug.kind),
+                  static_cast<unsigned long long>(bug.interleaving));
+    for (const mpism::ErrorInfo& err : bug.errors) {
+      out += strfmt("berr %d %s\n", err.rank, escape(err.message).c_str());
+    }
+    out += "bdetail " + escape(bug.deadlock_detail) + '\n';
+    for (const auto& [key, src] : bug.schedule.forced) {
+      out += strfmt("bdec %d %llu %d\n", key.rank,
+                    static_cast<unsigned long long>(key.nd_index), src);
+    }
+  }
+  for (const std::string& alert : checkpoint.unsafe_alerts) {
+    out += "alert " + escape(alert) + '\n';
+  }
+  out += "end\n";
+  return out;
+}
+
+std::optional<Checkpoint> parse_checkpoint(
+    const std::string& text, const std::string& expected_fingerprint,
+    std::string* error) {
+  auto fail = [error](std::string message) -> std::optional<Checkpoint> {
+    if (error != nullptr) *error = std::move(message);
+    return std::nullopt;
+  };
+
+  Checkpoint cp;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  bool saw_header = false;
+  bool saw_options = false;
+  bool saw_end = false;
+  BugRecord* open_bug = nullptr;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+      line.pop_back();
+    }
+    if (line.empty()) continue;
+    if (saw_end) {
+      return fail(strfmt("line %d: content after 'end' trailer", line_no));
+    }
+    // Same header discipline as decision files: the version line must be
+    // the first non-blank line, or this is not a checkpoint at all.
+    if (!saw_header) {
+      if (line != kCheckpointHeader) {
+        return fail(
+            strfmt("line %d: first non-blank line must be the '%s' header",
+                   line_no, kCheckpointHeader));
+      }
+      saw_header = true;
+      continue;
+    }
+    if (line[0] == '#') continue;
+
+    std::istringstream ls(line);
+    std::string keyword;
+    ls >> keyword;
+
+    if (keyword == "options") {
+      cp.fingerprint = rest_of_line(line, keyword.size());
+      if (!expected_fingerprint.empty() &&
+          cp.fingerprint != expected_fingerprint) {
+        return fail(strfmt(
+            "options fingerprint mismatch — checkpoint was written by a "
+            "different configuration\n  checkpoint: %s\n  current:    %s",
+            cp.fingerprint.c_str(), expected_fingerprint.c_str()));
+      }
+      saw_options = true;
+    } else if (keyword == "interleavings") {
+      if (!(ls >> cp.interleavings)) {
+        return fail(strfmt("line %d: bad interleavings count", line_no));
+      }
+    } else if (keyword == "counters") {
+      if (!(ls >> cp.retries >> cp.timeouts >> cp.quarantined >>
+            cp.divergences >> cp.prefix_mismatches)) {
+        return fail(strfmt("line %d: bad counters line", line_no));
+      }
+    } else if (keyword == "frame") {
+      DfsFrame frame;
+      int record_alts = 0;
+      std::string marker;
+      std::size_t count = 0;
+      if (!(ls >> frame.key.rank >> frame.key.nd_index >> frame.lc >>
+            frame.taken_src >> record_alts >> frame.mix_budget >> marker >>
+            count) ||
+          marker != "u") {
+        return fail(strfmt("line %d: bad frame line", line_no));
+      }
+      frame.record_alts = record_alts != 0;
+      frame.untried.resize(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        if (!(ls >> frame.untried[i])) {
+          return fail(strfmt("line %d: truncated untried list", line_no));
+        }
+      }
+      if (!(ls >> marker >> count) || marker != "s") {
+        return fail(strfmt("line %d: bad seen list", line_no));
+      }
+      for (std::size_t i = 0; i < count; ++i) {
+        mpism::Rank src = -1;
+        if (!(ls >> src)) {
+          return fail(strfmt("line %d: truncated seen list", line_no));
+        }
+        frame.seen.insert(src);
+      }
+      cp.frames.push_back(std::move(frame));
+      open_bug = nullptr;
+    } else if (keyword == "bug") {
+      BugRecord bug;
+      int kind = 0;
+      if (!(ls >> kind >> bug.interleaving) || kind < 0 ||
+          kind > static_cast<int>(BugRecord::Kind::kHang)) {
+        return fail(strfmt("line %d: bad bug line", line_no));
+      }
+      bug.kind = static_cast<BugRecord::Kind>(kind);
+      cp.bugs.push_back(std::move(bug));
+      open_bug = &cp.bugs.back();
+    } else if (keyword == "berr") {
+      mpism::ErrorInfo err;
+      if (open_bug == nullptr || !(ls >> err.rank)) {
+        return fail(strfmt("line %d: berr outside a bug block", line_no));
+      }
+      std::string rest;
+      std::getline(ls, rest);
+      if (!rest.empty() && rest[0] == ' ') rest.erase(0, 1);
+      err.message = unescape(rest);
+      open_bug->errors.push_back(std::move(err));
+    } else if (keyword == "bdetail") {
+      if (open_bug == nullptr) {
+        return fail(strfmt("line %d: bdetail outside a bug block", line_no));
+      }
+      open_bug->deadlock_detail = unescape(rest_of_line(line, keyword.size()));
+    } else if (keyword == "bdec") {
+      EpochKey key;
+      mpism::Rank src = -1;
+      if (open_bug == nullptr ||
+          !(ls >> key.rank >> key.nd_index >> src)) {
+        return fail(strfmt("line %d: bdec outside a bug block", line_no));
+      }
+      open_bug->schedule.forced[key] = src;
+    } else if (keyword == "alert") {
+      cp.unsafe_alerts.push_back(unescape(rest_of_line(line, keyword.size())));
+      open_bug = nullptr;
+    } else if (keyword == "end") {
+      saw_end = true;
+    } else {
+      return fail(strfmt("line %d: unknown keyword '%s'", line_no,
+                         keyword.c_str()));
+    }
+  }
+  if (!saw_header) {
+    return fail(strfmt("missing '%s' header", kCheckpointHeader));
+  }
+  if (!saw_options) {
+    return fail("missing 'options' fingerprint line");
+  }
+  if (!saw_end) {
+    return fail("truncated checkpoint (missing 'end' trailer)");
+  }
+  return cp;
+}
+
+bool save_checkpoint(const Checkpoint& checkpoint, const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return false;
+    out << serialize_checkpoint(checkpoint);
+    if (!out) return false;
+  }
+  // rename(2) is atomic within a filesystem: readers see either the old
+  // complete checkpoint or the new one, never a torn write.
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+std::optional<Checkpoint> load_checkpoint(
+    const std::string& path, const std::string& expected_fingerprint,
+    std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_checkpoint(buffer.str(), expected_fingerprint, error);
+}
+
+}  // namespace dampi::core

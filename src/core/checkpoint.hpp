@@ -1,0 +1,66 @@
+// Crash-safe journal of the explorer's DFS frontier.
+//
+// A checkpoint is everything a resumed walk needs to continue exactly
+// where the original left off: the pending frame stack (keys, taken
+// sources, untried alternatives, seen-sets, mixing budgets), the
+// interleaving counter, the bugs and alerts already collected, and the
+// resilience counters. It deliberately does NOT carry discovery-run
+// statistics (R*, potential matches) — those describe the one SELF_RUN
+// only the original walk executed.
+//
+// File format (line-oriented, versioned like decision_io's): the header
+// must be the first non-blank line; `options` carries the canonical
+// fingerprint of every option that affects search semantics and is
+// compared whole on load — a mismatch is a clean refusal, never silent
+// corruption. Writes go to `<path>.tmp` then rename(2), so a crash
+// mid-write leaves the previous checkpoint intact.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/explorer.hpp"
+#include "core/options.hpp"
+
+namespace dampi::core {
+
+inline constexpr const char* kCheckpointHeader = "# dampi-checkpoint v1";
+
+struct Checkpoint {
+  std::string fingerprint;  ///< options_fingerprint() at save time
+  std::uint64_t interleavings = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t quarantined = 0;
+  std::uint64_t divergences = 0;
+  std::uint64_t prefix_mismatches = 0;
+  std::vector<DfsFrame> frames;
+  std::vector<BugRecord> bugs;
+  std::vector<std::string> unsafe_alerts;
+};
+
+/// Canonical, human-readable fingerprint of the options that determine
+/// search semantics (nprocs, clocks, mixing, scheduler/matcher/policy
+/// specs + seeds, fault plan, pinned initial schedule, checkpoint_tag).
+/// Excludes anything a resume may legitimately change: jobs, budgets,
+/// retry limits, checkpoint knobs.
+std::string options_fingerprint(const ExplorerOptions& options);
+
+std::string serialize_checkpoint(const Checkpoint& checkpoint);
+
+/// Parses and validates. `expected_fingerprint` empty skips the
+/// fingerprint comparison (the file's own is still required and kept).
+std::optional<Checkpoint> parse_checkpoint(
+    const std::string& text, const std::string& expected_fingerprint,
+    std::string* error);
+
+/// Atomic write via `<path>.tmp` + rename. False on I/O failure.
+bool save_checkpoint(const Checkpoint& checkpoint, const std::string& path);
+
+std::optional<Checkpoint> load_checkpoint(
+    const std::string& path, const std::string& expected_fingerprint,
+    std::string* error);
+
+}  // namespace dampi::core

@@ -1,13 +1,19 @@
 #include "core/explorer.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <set>
+#include <thread>
 #include <unordered_set>
 
 #include "common/logging.hpp"
+#include "core/checkpoint.hpp"
 #include "core/dampi_layer.hpp"
 #include "core/replay_pool.hpp"
+#include "mpism/fault.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "piggyback/telepathic.hpp"
@@ -45,6 +51,9 @@ Schedule reproducer_schedule(const Schedule& forced, const RunTrace& trace) {
 void record_bug_if_any(const mpism::RunReport& report,
                        const Schedule& schedule, const RunTrace& trace,
                        std::uint64_t interleaving, ExploreResult& result) {
+  // External cancellation is an interruption of the campaign, not a
+  // property of the program: the run is torn down, never judged.
+  if (report.cancelled) return;
   if (report.deadlocked) {
     BugRecord bug;
     bug.kind = BugRecord::Kind::kDeadlock;
@@ -59,7 +68,27 @@ void record_bug_if_any(const mpism::RunReport& report,
     bug.errors = report.errors;
     bug.schedule = reproducer_schedule(schedule, trace);
     result.bugs.push_back(std::move(bug));
+  } else if (report.timed_out) {
+    // Watchdog expiry: the interleaving wedged (livelock, unbounded
+    // spin, pathological slowness) instead of deadlocking. The partial
+    // trace still pins every match the run made before it was killed,
+    // so the schedule reproduces the hang deterministically.
+    BugRecord bug;
+    bug.kind = BugRecord::Kind::kHang;
+    bug.interleaving = interleaving;
+    bug.deadlock_detail = report.stop_reason;
+    bug.schedule = reproducer_schedule(schedule, trace);
+    result.bugs.push_back(std::move(bug));
   }
+}
+
+/// A run whose failure may be transient (injected fault, watchdog expiry
+/// under load, program error): worth re-executing. Deadlocks are
+/// verdicts — deterministic by construction — and cancellation means the
+/// campaign itself is being torn down.
+bool failed_retryably(const mpism::RunReport& report) {
+  return !report.deadlocked && !report.cancelled &&
+         (report.timed_out || !report.errors.empty());
 }
 
 }  // namespace
@@ -83,7 +112,24 @@ SingleRun run_guided_once(const ExplorerOptions& options,
   run_options.policy_seed = options.policy_seed;
   run_options.sched = options.sched;
   run_options.match = options.match;
+  run_options.max_run_wall_seconds = options.run_deadline_seconds;
+  run_options.max_run_vtime_us = options.max_run_vtime_us;
+  run_options.max_ops = options.max_run_ops;
+  run_options.cancel = options.cancel;
   run_options.tools = make_dampi_setup(shared, board);
+  if (options.fault) {
+    // Fault layers sit at the very top of each rank's stack so an
+    // injected abort/error/delay hits before DAMPI's bookkeeping, the
+    // same place a PnMPI fault tool would wrap the application.
+    auto base = run_options.tools.make_stack;
+    auto plan = options.fault;
+    run_options.tools.make_stack = [base, plan](int rank, int nprocs) {
+      auto stack = base(rank, nprocs);
+      stack.insert(stack.begin(), std::make_unique<mpism::FaultLayer>(
+                                      plan, static_cast<mpism::Rank>(rank)));
+      return stack;
+    };
+  }
 
   SingleRun outcome;
   {
@@ -113,7 +159,7 @@ void Explorer::extend_stack(const RunTrace& trace, int flip_pos,
   const bool merge_prefix_alts = !options_.mixing_bound.has_value();
   std::set<EpochKey> prefix_keys;
   for (int j = 0; j <= flip_pos; ++j) {
-    Frame& frame = stack_[static_cast<std::size_t>(j)];
+    DfsFrame& frame = stack_[static_cast<std::size_t>(j)];
     prefix_keys.insert(frame.key);
     auto it = by_key.find(frame.key);
     if (it == by_key.end() ||
@@ -145,7 +191,7 @@ void Explorer::extend_stack(const RunTrace& trace, int flip_pos,
   for (const EpochRecord* epoch : sorted) {
     if (prefix_keys.count(epoch->key) != 0) continue;
     ++new_depth;
-    Frame frame;
+    DfsFrame frame;
     frame.key = epoch->key;
     frame.lc = epoch->lc;
     frame.taken_src = epoch->matched_src_world;
@@ -171,7 +217,7 @@ void Explorer::extend_stack(const RunTrace& trace, int flip_pos,
 Schedule Explorer::schedule_for(int frame_pos, mpism::Rank alt) const {
   Schedule schedule;
   for (int j = 0; j < frame_pos; ++j) {
-    const Frame& f = stack_[static_cast<std::size_t>(j)];
+    const DfsFrame& f = stack_[static_cast<std::size_t>(j)];
     schedule.forced[f.key] = f.taken_src;
   }
   schedule.forced[stack_[static_cast<std::size_t>(frame_pos)].key] = alt;
@@ -189,7 +235,7 @@ void Explorer::speculate_frontier(ReplayPool& pool,
   std::uint64_t planned =
       result.interleavings + static_cast<std::uint64_t>(pool.outstanding());
   for (int i = static_cast<int>(stack_.size()) - 1; i >= 0; --i) {
-    const Frame& frame = stack_[static_cast<std::size_t>(i)];
+    const DfsFrame& frame = stack_[static_cast<std::size_t>(i)];
     for (auto it = frame.untried.rbegin(); it != frame.untried.rend(); ++it) {
       if (planned + 1 >= options_.max_interleavings) return;
       if (!pool.speculate(schedule_for(i, *it))) return;
@@ -210,36 +256,178 @@ ExploreResult Explorer::explore(const mpism::ProgramFn& program,
   ExploreResult result;
   stack_.clear();
   std::unordered_set<std::string> alert_keys;
+
+  // One CancelSource per campaign: external callers (SIGINT bridge,
+  // tests) may supply it; the global wall-budget watchdog below fires
+  // the same source. Must exist before the pool copies options into its
+  // per-run plumbing.
+  if (!options_.cancel) {
+    options_.cancel = std::make_shared<mpism::CancelSource>();
+  }
+  const std::shared_ptr<mpism::CancelSource> cancel = options_.cancel;
+  const std::string fingerprint = options_fingerprint(options_);
+
   ReplayPool pool(options_, program);
   DAMPI_TRACE_THREAD_LANE("explore");
 
-  // Initial discovery execution: SELF_RUN unless the caller pinned the
-  // root interleaving through options_.initial_schedule.
-  SingleRun first = pool.take(options_.initial_schedule, 1);
-  result.interleavings = 1;
-  result.first_report = first.report;
-  result.wildcard_recv_epochs = first.trace.wildcard_recv_epochs;
-  result.wildcard_probe_epochs = first.trace.wildcard_probe_epochs;
-  result.potential_matches_first_run = first.trace.potential_matches;
-  result.first_run_vtime_us = first.report.vtime_us;
-  result.total_vtime_us += first.report.vtime_us;
-  result.divergences += first.divergences;
-  collect_alerts(first.trace, alert_keys, result);
-  record_bug_if_any(first.report, options_.initial_schedule, first.trace, 1,
-                    result);
-  if (observer) observer(first.trace, first.report, options_.initial_schedule);
-  extend_stack(first.trace, /*flip_pos=*/-1, result);
+  // Global wall budget enforced *inside* runs: a watchdog thread fires
+  // the campaign CancelSource at the deadline, so even an in-flight
+  // replay unwinds promptly instead of the budget only being noticed
+  // between runs.
+  std::mutex wd_mu;
+  std::condition_variable wd_cv;
+  bool wd_stop = false;
+  std::atomic<bool> wall_budget_fired{false};
+  std::thread watchdog;
+  if (options_.max_wall_seconds < 1e9) {
+    const auto deadline =
+        t0 + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                 std::chrono::duration<double>(options_.max_wall_seconds));
+    watchdog = std::thread([&, deadline] {
+      std::unique_lock<std::mutex> lk(wd_mu);
+      if (!wd_cv.wait_until(lk, deadline, [&] { return wd_stop; })) {
+        wall_budget_fired.store(true, std::memory_order_release);
+        lk.unlock();
+        cancel->cancel("global wall budget exhausted");
+      }
+    });
+  }
+  auto stop_watchdog = [&] {
+    if (!watchdog.joinable()) return;
+    {
+      std::lock_guard<std::mutex> lk(wd_mu);
+      wd_stop = true;
+    }
+    wd_cv.notify_all();
+    watchdog.join();
+  };
+
+  // Crash-safe frontier journal (no-op without a checkpoint path).
+  auto flush_checkpoint = [&] {
+    if (options_.checkpoint_path.empty()) return;
+    Checkpoint cp;
+    cp.fingerprint = fingerprint;
+    cp.interleavings = result.interleavings;
+    cp.retries = result.retries;
+    cp.timeouts = result.timeouts;
+    cp.quarantined = result.quarantined;
+    cp.divergences = result.divergences;
+    cp.prefix_mismatches = result.prefix_mismatches;
+    cp.frames = stack_;
+    cp.bugs = result.bugs;
+    cp.unsafe_alerts = result.unsafe_alerts;
+    DAMPI_TEVENT(obs::EventKind::kCheckpoint, obs::Phase::kBegin,
+                 static_cast<std::int32_t>(stack_.size()), 0, 0,
+                 static_cast<std::int32_t>(result.interleavings));
+    const bool ok = save_checkpoint(cp, options_.checkpoint_path);
+    DAMPI_TEVENT(obs::EventKind::kCheckpoint, obs::Phase::kEnd,
+                 static_cast<std::int32_t>(stack_.size()), 0, 0,
+                 static_cast<std::int32_t>(result.interleavings));
+    if (ok) {
+      ++result.checkpoint_writes;
+      static obs::Counter& writes_metric =
+          obs::Registry::instance().counter("checkpoint.writes");
+      writes_metric.add(1);
+    } else {
+      DAMPI_LOG(kWarn) << "checkpoint write failed: "
+                       << options_.checkpoint_path;
+    }
+  };
+
+  // Retry wrapper: a retryably-failed run (error or watchdog expiry —
+  // possibly transient, e.g. an injected flaky fault) is re-executed up
+  // to max_retries times with bounded exponential backoff. The final
+  // outcome, whatever it is, is the one judged.
+  auto take_with_retry = [&](const Schedule& schedule, std::uint64_t index) {
+    SingleRun out = pool.take(schedule, index);
+    int attempt = 0;
+    while (failed_retryably(out.report) && attempt < options_.max_retries &&
+           !cancel->requested()) {
+      ++attempt;
+      ++result.retries;
+      DAMPI_TEVENT(obs::EventKind::kRetry, obs::Phase::kInstant, attempt, 0, 0,
+                   static_cast<std::int32_t>(index));
+      const double backoff_ms =
+          std::min(options_.retry_backoff_ms *
+                       static_cast<double>(1ull << std::min(attempt - 1, 10)),
+                   1000.0);
+      if (backoff_ms > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(backoff_ms));
+      }
+      out = pool.take(schedule, index);
+    }
+    return out;
+  };
+
+  bool aborted_discovery = false;
+  if (options_.resume_from) {
+    // Continue a journalled walk: restore the frontier and accumulated
+    // verdicts, skip discovery entirely (only the original walk executed
+    // the SELF_RUN, so first-run stats stay zero).
+    const Checkpoint& cp = *options_.resume_from;
+    stack_ = cp.frames;
+    result.interleavings = cp.interleavings;
+    result.bugs = cp.bugs;
+    result.retries = cp.retries;
+    result.timeouts = cp.timeouts;
+    result.quarantined = cp.quarantined;
+    result.divergences = cp.divergences;
+    result.prefix_mismatches = cp.prefix_mismatches;
+    for (const std::string& alert : cp.unsafe_alerts) {
+      if (alert_keys.insert(alert).second) {
+        result.unsafe_alerts.push_back(alert);
+      }
+    }
+    result.resumed = true;
+  } else {
+    // Initial discovery execution: SELF_RUN unless the caller pinned the
+    // root interleaving through options_.initial_schedule.
+    SingleRun first = take_with_retry(options_.initial_schedule, 1);
+    result.interleavings = 1;
+    result.first_report = first.report;
+    result.wildcard_recv_epochs = first.trace.wildcard_recv_epochs;
+    result.wildcard_probe_epochs = first.trace.wildcard_probe_epochs;
+    result.potential_matches_first_run = first.trace.potential_matches;
+    result.first_run_vtime_us = first.report.vtime_us;
+    result.total_vtime_us += first.report.vtime_us;
+    result.divergences += first.divergences;
+    if (first.report.cancelled) {
+      aborted_discovery = true;
+    } else {
+      if (first.report.timed_out) ++result.timeouts;
+      collect_alerts(first.trace, alert_keys, result);
+      record_bug_if_any(first.report, options_.initial_schedule, first.trace,
+                        1, result);
+      if (observer) {
+        observer(first.trace, first.report, options_.initial_schedule);
+      }
+      extend_stack(first.trace, /*flip_pos=*/-1, result);
+      flush_checkpoint();
+    }
+  }
 
   const bool stop_now =
-      options_.stop_on_first_error && result.found_bug();
+      aborted_discovery || (options_.stop_on_first_error && result.found_bug());
   while (!stop_now) {
+    if (cancel->requested()) {
+      // The cancel landed between runs (or a cancelled run already broke
+      // out below); classify it before walking on.
+      if (wall_budget_fired.load(std::memory_order_acquire)) {
+        result.time_budget_exhausted = true;
+      } else {
+        result.interrupted = true;
+      }
+      break;
+    }
     if (result.interleavings >= options_.max_interleavings) {
       result.interleaving_budget_exhausted =
           std::any_of(stack_.begin(), stack_.end(),
-                      [](const Frame& f) { return !f.untried.empty(); });
+                      [](const DfsFrame& f) { return !f.untried.empty(); });
       break;
     }
     if (elapsed() > options_.max_wall_seconds) {
+      // Backstop for the watchdog (e.g. it lost the race to arm).
       result.time_budget_exhausted = true;
       break;
     }
@@ -255,7 +443,7 @@ ExploreResult Explorer::explore(const mpism::ProgramFn& program,
     if (flip < 0) break;  // all epoch decisions exhausted
 
     stack_.resize(static_cast<std::size_t>(flip) + 1);
-    Frame& frame = stack_[static_cast<std::size_t>(flip)];
+    DfsFrame& frame = stack_[static_cast<std::size_t>(flip)];
     frame.taken_src = frame.untried.back();
     frame.untried.pop_back();
     DAMPI_TEVENT(obs::EventKind::kDecisionPop, obs::Phase::kInstant,
@@ -266,10 +454,33 @@ ExploreResult Explorer::explore(const mpism::ProgramFn& program,
     const Schedule schedule = schedule_for(flip, frame.taken_src);
     if (pool.workers() > 0) speculate_frontier(pool, result);
 
-    SingleRun outcome = pool.take(schedule, result.interleavings + 1);
+    SingleRun outcome = take_with_retry(schedule, result.interleavings + 1);
+    if (outcome.report.cancelled) {
+      // The run was torn down, not judged: put the alternative back so a
+      // resumed walk re-executes it, and do not count the interleaving —
+      // this is what makes kill/resume produce the same run sequence as
+      // an uninterrupted walk.
+      DfsFrame& f = stack_[static_cast<std::size_t>(flip)];
+      f.untried.push_back(f.taken_src);
+      if (wall_budget_fired.load(std::memory_order_acquire)) {
+        result.time_budget_exhausted = true;
+      } else {
+        result.interrupted = true;
+      }
+      break;
+    }
     ++result.interleavings;
     result.total_vtime_us += outcome.report.vtime_us;
     result.divergences += outcome.divergences;
+    if (outcome.report.timed_out) ++result.timeouts;
+    if (!outcome.report.completed && !outcome.report.deadlocked) {
+      // Still failing after every retry: the subtree below this root is
+      // quarantined — its bug (if any) is recorded, nothing under it is
+      // extended, and the walk degrades gracefully instead of aborting.
+      ++result.quarantined;
+      DAMPI_TEVENT(obs::EventKind::kQuarantine, obs::Phase::kInstant, 0, 0, 0,
+                   static_cast<std::int32_t>(result.interleavings));
+    }
     collect_alerts(outcome.trace, alert_keys, result);
     record_bug_if_any(outcome.report, schedule, outcome.trace,
                       result.interleavings, result);
@@ -281,8 +492,27 @@ ExploreResult Explorer::explore(const mpism::ProgramFn& program,
     if (outcome.report.completed) {
       extend_stack(outcome.trace, flip, result);
     }
+    if (options_.checkpoint_interval > 0 &&
+        result.interleavings % options_.checkpoint_interval == 0) {
+      flush_checkpoint();
+    }
   }
 
+  if (aborted_discovery) {
+    // Discovery itself was cancelled: report the partial campaign but do
+    // not journal it — there is no judged frontier to resume from.
+    if (wall_budget_fired.load(std::memory_order_acquire)) {
+      result.time_budget_exhausted = true;
+    } else {
+      result.interrupted = true;
+    }
+  } else {
+    // Final flush at every walk exit (completion, budget, cancellation,
+    // first-error stop) so --resume always sees the newest frontier.
+    flush_checkpoint();
+  }
+
+  stop_watchdog();
   pool.shutdown();
   result.pool = pool.stats();
   result.total_wall_seconds = elapsed();
@@ -294,10 +524,19 @@ ExploreResult Explorer::explore(const mpism::ProgramFn& program,
       obs::Registry::instance().counter("explorer.bugs");
   static obs::Counter& divergences_metric =
       obs::Registry::instance().counter("explorer.divergences");
+  static obs::Counter& retries_metric =
+      obs::Registry::instance().counter("explorer.retries");
+  static obs::Counter& timeouts_metric =
+      obs::Registry::instance().counter("explorer.timeouts");
+  static obs::Counter& quarantined_metric =
+      obs::Registry::instance().counter("explorer.quarantined");
   interleavings_metric.add(result.interleavings);
   explorations_metric.add(1);
   bugs_metric.add(result.bugs.size());
   divergences_metric.add(result.divergences);
+  retries_metric.add(result.retries);
+  timeouts_metric.add(result.timeouts);
+  quarantined_metric.add(result.quarantined);
   return result;
 }
 

@@ -44,12 +44,39 @@ struct PoolStats {
 /// A bug found during exploration, with the decision file that reproduces
 /// the interleaving exposing it.
 struct BugRecord {
-  enum class Kind { kDeadlock, kError };
+  /// kHang: the run exceeded its per-run watchdog budget (a possible
+  /// livelock / hang); the stop reason travels in deadlock_detail.
+  enum class Kind { kDeadlock, kError, kHang };
   Kind kind = Kind::kError;
   std::uint64_t interleaving = 0;  ///< 1-based run index
   std::vector<mpism::ErrorInfo> errors;
   std::string deadlock_detail;
   Schedule schedule;
+};
+
+/// One pending decision of the DFS walk. Namespace-scope (not
+/// Explorer-private) because the checkpoint journal persists the frame
+/// stack verbatim — it IS the search frontier.
+struct DfsFrame {
+  EpochKey key;
+  std::uint64_t lc = 0;
+  mpism::Rank taken_src = -1;
+  std::vector<mpism::Rank> untried;
+  /// Every source ever queued for this epoch (taken or untried); later
+  /// runs may reveal alternatives the creating run could not see, and
+  /// those are merged exactly once.
+  std::set<mpism::Rank> seen;
+  /// False when the frame was created outside the bounded-mixing
+  /// window or inside a loop-abstraction region: it takes whatever the
+  /// run gives it and never accumulates alternatives.
+  bool record_alts = true;
+  /// Remaining bounded-mixing budget: how many epochs below a flip of
+  /// this frame may still record alternatives. Windows are anchored,
+  /// not sliding — a frame discovered at depth d inside a window of
+  /// budget b carries b - d, so exploration below an initial-trace
+  /// epoch never exceeds k levels (paper §III-B2: "recursively explore
+  /// all paths below that option up to depth k").
+  int mix_budget = 0;
 };
 
 struct ExploreResult {
@@ -72,6 +99,23 @@ struct ExploreResult {
 
   bool interleaving_budget_exhausted = false;
   bool time_budget_exhausted = false;
+
+  /// --- Resilience accounting -------------------------------------------
+  /// Failed (errored/timed-out) replays re-executed with backoff.
+  std::uint64_t retries = 0;
+  /// Runs ended by the per-run watchdog (each also yields a kHang bug).
+  std::uint64_t timeouts = 0;
+  /// Decision subtrees skipped because their root replay failed even
+  /// after retries (the walk degrades gracefully instead of aborting).
+  std::uint64_t quarantined = 0;
+  std::uint64_t checkpoint_writes = 0;
+  /// An external CancelSource (SIGINT etc.) ended the walk early; the
+  /// final checkpoint flush holds the frontier for --resume.
+  bool interrupted = false;
+  /// This walk continued from a checkpoint: bugs/interleavings include
+  /// the journalled portion, first-run (R*) stats are zero — only the
+  /// original walk executed the discovery run.
+  bool resumed = false;
 
   /// Replay-pool counters (ExplorerOptions::jobs and friends).
   PoolStats pool;
@@ -105,28 +149,6 @@ class Explorer {
                         const RunObserver& observer = {});
 
  private:
-  struct Frame {
-    EpochKey key;
-    std::uint64_t lc = 0;
-    mpism::Rank taken_src = -1;
-    std::vector<mpism::Rank> untried;
-    /// Every source ever queued for this epoch (taken or untried); later
-    /// runs may reveal alternatives the creating run could not see, and
-    /// those are merged exactly once.
-    std::set<mpism::Rank> seen;
-    /// False when the frame was created outside the bounded-mixing
-    /// window or inside a loop-abstraction region: it takes whatever the
-    /// run gives it and never accumulates alternatives.
-    bool record_alts = true;
-    /// Remaining bounded-mixing budget: how many epochs below a flip of
-    /// this frame may still record alternatives. Windows are anchored,
-    /// not sliding — a frame discovered at depth d inside a window of
-    /// budget b carries b - d, so exploration below an initial-trace
-    /// epoch never exceeds k levels (paper §III-B2: "recursively explore
-    /// all paths below that option up to depth k").
-    int mix_budget = 0;
-  };
-
   /// Append new frames discovered by a run; `flip_pos` is the stack index
   /// that was flipped to trigger it (-1 for the initial run).
   void extend_stack(const RunTrace& trace, int flip_pos,
@@ -142,7 +164,7 @@ class Explorer {
   void speculate_frontier(ReplayPool& pool, const ExploreResult& result);
 
   ExplorerOptions options_;
-  std::vector<Frame> stack_;
+  std::vector<DfsFrame> stack_;
 };
 
 }  // namespace dampi::core

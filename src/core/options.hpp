@@ -8,7 +8,9 @@
 #include <vector>
 
 #include "core/decision.hpp"
+#include "mpism/cancel.hpp"
 #include "mpism/cost_model.hpp"
+#include "mpism/fault.hpp"
 #include "mpism/match_index.hpp"
 #include "mpism/policy.hpp"
 #include "mpism/scheduler.hpp"
@@ -16,6 +18,8 @@
 #include "piggyback/transport.hpp"
 
 namespace dampi::core {
+
+struct Checkpoint;
 
 /// Which causality tracker drives late-message analysis. Lamport is the
 /// paper's scalable default; Vector restores the completeness lost on
@@ -144,6 +148,49 @@ struct ExplorerOptions {
 
   /// Extra layers stacked above DAMPI's per run (ISP baseline).
   std::function<LayerStackFactory()> extra_layers_per_run;
+
+  /// --- Resilience ---------------------------------------------------------
+
+  /// Per-run watchdog budgets applied to every run this exploration
+  /// performs (discovery and replays; 0 = unlimited). A run exceeding
+  /// any of them is reported as a kHang bug with its reproducing
+  /// schedule, instead of wedging the campaign.
+  double run_deadline_seconds = 0.0;
+  double max_run_vtime_us = 0.0;
+  std::uint64_t max_run_ops = 0;
+
+  /// Failed replays (program errors or watchdog timeouts — possibly
+  /// transient, e.g. injected faults) are re-executed up to this many
+  /// times with bounded exponential backoff before their decision
+  /// subtree is quarantined. Deadlocks are verdicts, never retried.
+  int max_retries = 0;
+  double retry_backoff_ms = 1.0;
+
+  /// External cancellation (SIGINT bridge, tests). The explorer creates
+  /// one internally when unset — its global wall-budget watchdog fires
+  /// the same source, so `max_wall_seconds` cancels even an in-flight
+  /// replay.
+  std::shared_ptr<mpism::CancelSource> cancel;
+
+  /// Deterministic fault injection applied to every run (see
+  /// mpism/fault.hpp). Shared across runs so flaky points count their
+  /// fires campaign-wide.
+  std::shared_ptr<mpism::FaultPlan> fault;
+
+  /// Crash-safe journal of the DFS frontier: when `checkpoint_path` is
+  /// non-empty, the frontier is written there (atomic tmp+rename) every
+  /// `checkpoint_interval` interleavings and at every walk exit
+  /// (completion, budget, cancellation). `checkpoint_tag` — typically
+  /// the program name — is folded into the options fingerprint a resume
+  /// validates.
+  std::string checkpoint_path;
+  std::uint64_t checkpoint_interval = 64;
+  std::string checkpoint_tag;
+
+  /// Restored frontier from load_checkpoint(): the walk skips discovery
+  /// and continues where the journal left off. The fingerprint check
+  /// happens at load time.
+  std::shared_ptr<const Checkpoint> resume_from;
 };
 
 }  // namespace dampi::core

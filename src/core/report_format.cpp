@@ -10,6 +10,10 @@ std::string format_bug(const BugRecord& bug) {
     out += strfmt("DEADLOCK in interleaving %llu:\n",
                   static_cast<unsigned long long>(bug.interleaving));
     out += bug.deadlock_detail;
+  } else if (bug.kind == BugRecord::Kind::kHang) {
+    out += strfmt("HANG (watchdog) in interleaving %llu:\n",
+                  static_cast<unsigned long long>(bug.interleaving));
+    out += strfmt("  %s\n", bug.deadlock_detail.c_str());
   } else {
     out += strfmt("FAILURE in interleaving %llu:\n",
                   static_cast<unsigned long long>(bug.interleaving));
@@ -36,7 +40,23 @@ std::string format_verify_result(const VerifyResult& result) {
                 static_cast<unsigned long long>(e.interleavings),
                 e.interleaving_budget_exhausted ? " (budget exhausted)"
                 : e.time_budget_exhausted       ? " (time budget exhausted)"
+                : e.interrupted                 ? " (interrupted)"
                                                 : "");
+  if (e.resumed) {
+    out += "resumed from checkpoint: yes (first-run stats reflect the "
+           "original walk)\n";
+  }
+  if (e.retries > 0 || e.timeouts > 0 || e.quarantined > 0) {
+    out += strfmt("resilience             : %llu retries, %llu watchdog "
+                  "timeouts, %llu quarantined\n",
+                  static_cast<unsigned long long>(e.retries),
+                  static_cast<unsigned long long>(e.timeouts),
+                  static_cast<unsigned long long>(e.quarantined));
+  }
+  if (e.checkpoint_writes > 0) {
+    out += strfmt("checkpoint writes      : %llu\n",
+                  static_cast<unsigned long long>(e.checkpoint_writes));
+  }
   out += strfmt("wildcard epochs (R*)   : %llu recv, %llu probe\n",
                 static_cast<unsigned long long>(e.wildcard_recv_epochs),
                 static_cast<unsigned long long>(e.wildcard_probe_epochs));

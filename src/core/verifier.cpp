@@ -14,6 +14,13 @@ VerifyResult Verifier::verify(const mpism::ProgramFn& program,
     native.policy_seed = options_.explorer.policy_seed;
     native.sched = options_.explorer.sched;
     native.match = options_.explorer.match;
+    // Watchdog budgets and external cancellation also guard the native
+    // measurement run: a program that livelocks natively must not wedge
+    // the verifier before exploration even starts.
+    native.max_run_wall_seconds = options_.explorer.run_deadline_seconds;
+    native.max_run_vtime_us = options_.explorer.max_run_vtime_us;
+    native.max_ops = options_.explorer.max_run_ops;
+    native.cancel = options_.explorer.cancel;
     mpism::Runtime runtime(std::move(native));
     const mpism::RunReport report = runtime.run(program);
     result.native_vtime_us = report.vtime_us;
@@ -31,6 +38,7 @@ VerifyResult Verifier::verify(const mpism::ProgramFn& program,
   for (const BugRecord& bug : result.exploration.bugs) {
     if (bug.kind == BugRecord::Kind::kDeadlock) result.deadlock_found = true;
     if (bug.kind == BugRecord::Kind::kError) result.error_found = true;
+    if (bug.kind == BugRecord::Kind::kHang) result.hang_found = true;
   }
   return result;
 }

@@ -39,9 +39,11 @@ struct VerifyResult {
 
   bool deadlock_found = false;
   bool error_found = false;
+  /// A run exceeded its per-run watchdog budget (possible livelock).
+  bool hang_found = false;
 
   bool clean() const {
-    return !deadlock_found && !error_found && comm_leaks == 0 &&
+    return !deadlock_found && !error_found && !hang_found && comm_leaks == 0 &&
            request_leaks == 0;
   }
 };

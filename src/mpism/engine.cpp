@@ -7,6 +7,7 @@
 #include "common/check.hpp"
 #include "common/logging.hpp"
 #include "common/strutil.hpp"
+#include "mpism/fault.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -113,6 +114,21 @@ Engine::~Engine() = default;
 
 RunReport Engine::run(const ProgramFn& program) {
   const auto t0 = std::chrono::steady_clock::now();
+  has_wall_deadline_ = opts_.max_run_wall_seconds > 0.0;
+  if (has_wall_deadline_) {
+    run_deadline_ =
+        t0 + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                 std::chrono::duration<double>(opts_.max_run_wall_seconds));
+  }
+  budgets_armed_ = has_wall_deadline_ || opts_.max_run_vtime_us > 0.0 ||
+                   opts_.max_ops > 0;
+  // Subscribe for the run's duration; if the source already fired, this
+  // cancels on the spot and every rank unwinds at its first MPI call.
+  std::uint64_t cancel_sub = 0;
+  if (opts_.cancel) {
+    cancel_sub = opts_.cancel->subscribe(
+        [this](const std::string& reason) { cancel(reason); });
+  }
   RankScheduler::Callbacks cb;
   cb.body = [this, &program](Rank r) { rank_body(r, program); };
   cb.wake_ready = [this](Rank r) {
@@ -121,13 +137,24 @@ RunReport Engine::run(const ProgramFn& program) {
   };
   cb.stop = [this] { return aborted_ || deadlocked_; };
   cb.on_stall = [this] { declare_deadlock_locked(); };
+  if (has_wall_deadline_) {
+    cb.deadline = run_deadline_;
+    cb.on_deadline = [this] {
+      declare_timeout_locked(strfmt("run wall deadline exceeded (%.3f s)",
+                                    opts_.max_run_wall_seconds));
+    };
+  }
   sched_->run(mu_, cb);
+  if (opts_.cancel) opts_.cancel->unsubscribe(cancel_sub);
 
   RunReport report;
   report.completed = !aborted_ && !deadlocked_;
   report.deadlocked = deadlocked_;
   report.errors = errors_;
   report.deadlock_detail = deadlock_detail_;
+  report.timed_out = timed_out_;
+  report.cancelled = cancelled_;
+  report.stop_reason = stop_reason_;
   for (const auto& pr_ptr : ranks_) {
     report.vtime_us = std::max(report.vtime_us, pr_ptr->vtime);
   }
@@ -148,9 +175,15 @@ RunReport Engine::run(const ProgramFn& program) {
       obs::Registry::instance().counter("engine.messages_sent");
   static obs::Counter& deadlocks_metric =
       obs::Registry::instance().counter("engine.deadlocks");
+  static obs::Counter& timeouts_metric =
+      obs::Registry::instance().counter("engine.timed_out");
+  static obs::Counter& cancelled_metric =
+      obs::Registry::instance().counter("engine.cancelled");
   runs_metric.add(1);
   messages_metric.add(messages_sent_);
   if (deadlocked_) deadlocks_metric.add(1);
+  if (timed_out_) timeouts_metric.add(1);
+  if (cancelled_) cancelled_metric.add(1);
 
   // Pool effectiveness: acquired vs freelist-reused. A warm steady state
   // shows reused converging on acquired (allocation-free matching).
@@ -202,6 +235,10 @@ void Engine::rank_body(Rank r, const ProgramFn& program) {
   } catch (const InternalError& e) {
     std::unique_lock<std::mutex> lk(mu_);
     errors_.push_back({r, std::string("tool internal error: ") + e.what()});
+    abort_all_locked();
+  } catch (const FaultInjected& e) {
+    std::unique_lock<std::mutex> lk(mu_);
+    errors_.push_back({r, std::string("fault injected: ") + e.what()});
     abort_all_locked();
   } catch (const std::exception& e) {
     std::unique_lock<std::mutex> lk(mu_);
@@ -288,6 +325,46 @@ void Engine::declare_deadlock_locked() {
 void Engine::abort_all_locked() {
   aborted_ = true;
   sched_->wake_all();
+}
+
+void Engine::declare_timeout_locked(std::string reason) {
+  if (aborted_ || deadlocked_) return;
+  timed_out_ = true;
+  stop_reason_ = std::move(reason);
+  DAMPI_TEVENT(obs::EventKind::kRunTimeout, obs::Phase::kInstant);
+  abort_all_locked();
+}
+
+void Engine::cancel(const std::string& reason) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (aborted_ || deadlocked_) return;
+  cancelled_ = true;
+  stop_reason_ = reason.empty() ? "externally cancelled" : reason;
+  DAMPI_TEVENT(obs::EventKind::kRunCancel, obs::Phase::kInstant);
+  abort_all_locked();
+}
+
+void Engine::charge_op(std::unique_lock<std::mutex>& lk, Rank r) {
+  if (!budgets_armed_) return;
+  ++ops_executed_;
+  if (opts_.max_ops > 0 && ops_executed_ > opts_.max_ops) {
+    declare_timeout_locked(
+        strfmt("op budget exhausted (%llu ops)",
+               static_cast<unsigned long long>(opts_.max_ops)));
+  } else if (opts_.max_run_vtime_us > 0.0 &&
+             pr(r).vtime > opts_.max_run_vtime_us) {
+    declare_timeout_locked(strfmt("virtual-time budget exhausted (%.0f us)",
+                                  opts_.max_run_vtime_us));
+  } else if (has_wall_deadline_ && (ops_executed_ & 31) == 0 &&
+             std::chrono::steady_clock::now() >= run_deadline_) {
+    // The clock read is amortized over 32 ops: a busy rank issues ops
+    // microseconds apart, so the detection slack is negligible, while a
+    // blocked rank is woken exactly at the deadline by the scheduler's
+    // timed wait regardless of this stride.
+    declare_timeout_locked(strfmt("run wall deadline exceeded (%.3f s)",
+                                  opts_.max_run_wall_seconds));
+  }
+  check_abort(lk);
 }
 
 void Engine::throw_program_error(std::unique_lock<std::mutex>& lk, Rank r,
@@ -558,6 +635,7 @@ RequestId Engine::api_isend(Rank r, Rank dst, Tag tag, Bytes payload,
 
   std::unique_lock<std::mutex> lk(mu_);
   check_abort(lk);
+  charge_op(lk, r);
   validate_comm_member(lk, r, call.comm);
   if (call.tag < 0 || call.tag > kMaxUserTag) {
     throw_program_error(lk, r, strfmt("invalid send tag %d", call.tag));
@@ -589,6 +667,7 @@ RequestId Engine::api_irecv(Rank r, Rank src, Tag tag, CommId comm,
 
   std::unique_lock<std::mutex> lk(mu_);
   check_abort(lk);
+  charge_op(lk, r);
   validate_comm_member(lk, r, call.comm);
   if (call.tag < kAnyTag || call.tag > kMaxUserTag) {
     throw_program_error(lk, r, strfmt("invalid recv tag %d", call.tag));
@@ -611,6 +690,7 @@ Status Engine::api_wait(Rank r, RequestId req, Bytes* out, bool count_stat) {
 
   std::unique_lock<std::mutex> lk(mu_);
   check_abort(lk);
+  charge_op(lk, r);
   if (pr(r).reqs.find(req) == pr(r).reqs.end()) {
     throw_program_error(lk, r, "wait on invalid or consumed request");
   }
@@ -625,6 +705,7 @@ bool Engine::api_test(Rank r, RequestId req, Status* status, Bytes* out) {
 
   std::unique_lock<std::mutex> lk(mu_);
   check_abort(lk);
+  charge_op(lk, r);
   auto it = pr(r).reqs.find(req);
   if (it == pr(r).reqs.end()) {
     throw_program_error(lk, r, "test on invalid or consumed request");
@@ -650,6 +731,7 @@ void Engine::api_waitall(Rank r, std::span<RequestId> reqs) {
     if (req == kNullRequest) continue;
     std::unique_lock<std::mutex> lk(mu_);
     check_abort(lk);
+    charge_op(lk, r);
     if (pr(r).reqs.find(req) == pr(r).reqs.end()) {
       throw_program_error(lk, r, "waitall on invalid or consumed request");
     }
@@ -670,6 +752,7 @@ std::size_t Engine::api_waitany(Rank r, std::span<RequestId> reqs,
 
   std::unique_lock<std::mutex> lk(mu_);
   check_abort(lk);
+  charge_op(lk, r);
   stats_.bump(OpCategory::kWait, r);
   pr(r).vtime += opts_.cost.local_op_us;
 
@@ -707,6 +790,7 @@ bool Engine::api_testall(Rank r, std::span<RequestId> reqs) {
   if (!reqs.empty()) hooks_pre_wait(r, reqs[0]);
   std::unique_lock<std::mutex> lk(mu_);
   check_abort(lk);
+  charge_op(lk, r);
   stats_.bump(OpCategory::kWait, r);
   pr(r).vtime += opts_.cost.local_op_us;
   for (const RequestId req : reqs) {
@@ -733,6 +817,7 @@ std::size_t Engine::api_testany(Rank r, std::span<RequestId> reqs,
   if (!reqs.empty()) hooks_pre_wait(r, reqs[0]);
   std::unique_lock<std::mutex> lk(mu_);
   check_abort(lk);
+  charge_op(lk, r);
   stats_.bump(OpCategory::kWait, r);
   pr(r).vtime += opts_.cost.local_op_us;
   for (std::size_t i = 0; i < reqs.size(); ++i) {
@@ -762,6 +847,7 @@ Status Engine::api_probe(Rank r, Rank src, Tag tag, CommId comm, bool* flag) {
 
   std::unique_lock<std::mutex> lk(mu_);
   check_abort(lk);
+  charge_op(lk, r);
   validate_comm_member(lk, r, call.comm);
   stats_.bump(OpCategory::kSendRecv, r);
   pr(r).vtime += opts_.cost.local_op_us;
@@ -903,6 +989,7 @@ CollUserResult Engine::collective_impl(Rank r, CollKind kind, CommId comm,
                                        CollResult* tool_result) {
   std::unique_lock<std::mutex> lk(mu_);
   check_abort(lk);
+  if (!tool_internal) charge_op(lk, r);
   validate_comm_member(lk, r, comm);
   DAMPI_TEVENT(obs::EventKind::kCollective, obs::Phase::kBegin,
                static_cast<std::int32_t>(kind), comm);
@@ -1169,6 +1256,7 @@ void Engine::api_pcontrol(Rank r, int level, const std::string& what) {
   {
     std::unique_lock<std::mutex> lk(mu_);
     check_abort(lk);
+    charge_op(lk, r);
     stats_.bump(OpCategory::kOther, r);
     pr(r).vtime += opts_.cost.local_op_us;
   }
@@ -1178,6 +1266,7 @@ void Engine::api_pcontrol(Rank r, int level, const std::string& what) {
 void Engine::api_compute(Rank r, double us) {
   std::unique_lock<std::mutex> lk(mu_);
   check_abort(lk);
+  charge_op(lk, r);
   pr(r).vtime += us;
 }
 

@@ -65,6 +65,12 @@ class Engine {
 
   RunReport run(const ProgramFn& program);
 
+  /// External cancellation: ends the run (RunReport::cancelled) from any
+  /// thread. Safe at any time — before run() (the run aborts on entry),
+  /// during (every rank unwinds), or after completion (no-op). Loses to
+  /// an already-declared verdict (deadlock/abort), never overrides one.
+  void cancel(const std::string& reason);
+
   // --- Proc-facing API (travels through the tool stack) -------------------
   RequestId api_isend(Rank r, Rank dst, Tag tag, Bytes payload, CommId comm,
                       bool blocking, bool synchronous);
@@ -186,6 +192,14 @@ class Engine {
   /// cannot see, so the scheduler's no-candidate scan is authoritative.
   void maybe_declare_deadlock(Rank r);
   void declare_deadlock_locked();
+  /// Watchdog verdict: a per-run budget expired. Idempotent; loses to an
+  /// already-declared abort/deadlock. Lock must be held.
+  void declare_timeout_locked(std::string reason);
+  /// Budget accounting at MPI-call entry (lock held): counts the op,
+  /// checks the op/vtime/wall budgets, and unwinds via AbortRun when one
+  /// expired. A single predicted-false branch when no budget is armed;
+  /// the wall-clock read is amortized over a 32-op stride.
+  void charge_op(std::unique_lock<std::mutex>& lk, Rank r);
   void abort_all_locked();
   [[noreturn]] void throw_program_error(std::unique_lock<std::mutex>& lk,
                                         Rank r, const std::string& message);
@@ -248,6 +262,13 @@ class Engine {
   int finished_count_ = 0;
   bool aborted_ = false;
   bool deadlocked_ = false;
+  bool timed_out_ = false;
+  bool cancelled_ = false;
+  std::string stop_reason_;
+  bool budgets_armed_ = false;
+  bool has_wall_deadline_ = false;
+  std::chrono::steady_clock::time_point run_deadline_{};
+  std::uint64_t ops_executed_ = 0;
   std::string deadlock_detail_;
   std::vector<ErrorInfo> errors_;
   std::uint64_t messages_sent_ = 0;

@@ -1,0 +1,249 @@
+#include "mpism/fault.hpp"
+
+#include <cstdlib>
+
+#include "common/strutil.hpp"
+#include "obs/trace.hpp"
+
+namespace dampi::mpism {
+
+namespace {
+
+const char* kind_name(FaultPoint::Kind kind) {
+  switch (kind) {
+    case FaultPoint::Kind::kAbort:
+      return "abort";
+    case FaultPoint::Kind::kError:
+      return "error";
+    case FaultPoint::Kind::kDelay:
+      return "delay";
+    case FaultPoint::Kind::kFlaky:
+      return "flaky";
+  }
+  return "?";
+}
+
+/// Parses a non-negative integer covering the whole of `text`.
+bool parse_u64(const std::string& text, std::uint64_t* out) {
+  if (text.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size()) {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+bool parse_double(const std::string& text, double* out) {
+  if (text.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size() || value < 0.0) {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+bool parse_point(const std::string& item, FaultPoint* out, std::string* error) {
+  const std::size_t at = item.find('@');
+  if (at == std::string::npos) {
+    *error = strfmt("fault point '%s': missing '@'", item.c_str());
+    return false;
+  }
+  const std::string kind = item.substr(0, at);
+  FaultPoint point;
+  int extra_fields = 0;
+  if (kind == "abort") {
+    point.kind = FaultPoint::Kind::kAbort;
+  } else if (kind == "error") {
+    point.kind = FaultPoint::Kind::kError;
+  } else if (kind == "delay") {
+    point.kind = FaultPoint::Kind::kDelay;
+    extra_fields = 1;
+  } else if (kind == "flaky") {
+    point.kind = FaultPoint::Kind::kFlaky;
+    extra_fields = 1;
+  } else {
+    *error = strfmt("fault point '%s': unknown kind '%s'", item.c_str(),
+                    kind.c_str());
+    return false;
+  }
+
+  std::vector<std::string> fields;
+  std::size_t start = at + 1;
+  while (true) {
+    const std::size_t colon = item.find(':', start);
+    if (colon == std::string::npos) {
+      fields.push_back(item.substr(start));
+      break;
+    }
+    fields.push_back(item.substr(start, colon - start));
+    start = colon + 1;
+  }
+  if (static_cast<int>(fields.size()) != 2 + extra_fields) {
+    *error = strfmt("fault point '%s': expected %d ':'-separated fields",
+                    item.c_str(), 2 + extra_fields);
+    return false;
+  }
+
+  std::uint64_t rank = 0;
+  std::uint64_t op = 0;
+  if (!parse_u64(fields[0], &rank) || !parse_u64(fields[1], &op) || op == 0) {
+    *error = strfmt("fault point '%s': bad rank or op index (op is 1-based)",
+                    item.c_str());
+    return false;
+  }
+  point.rank = static_cast<Rank>(rank);
+  point.op_index = op;
+  if (point.kind == FaultPoint::Kind::kDelay) {
+    if (!parse_double(fields[2], &point.delay_us)) {
+      *error = strfmt("fault point '%s': bad delay microseconds", item.c_str());
+      return false;
+    }
+  } else if (point.kind == FaultPoint::Kind::kFlaky) {
+    if (!parse_u64(fields[2], &point.max_fires) || point.max_fires == 0) {
+      *error = strfmt("fault point '%s': bad fire count", item.c_str());
+      return false;
+    }
+  }
+  *out = point;
+  return true;
+}
+
+}  // namespace
+
+FaultPlan::FaultPlan(std::vector<FaultPoint> points)
+    : points_(std::move(points)),
+      fired_(new std::atomic<std::uint64_t>[points_.empty() ? 1
+                                                            : points_.size()]) {
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    fired_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+bool FaultPlan::should_fire(std::size_t i) {
+  const FaultPoint& point = points_[i];
+  const std::uint64_t prior = fired_[i].fetch_add(1, std::memory_order_relaxed);
+  if (point.kind == FaultPoint::Kind::kFlaky) {
+    return prior < point.max_fires;
+  }
+  return true;
+}
+
+std::uint64_t FaultPlan::fires(std::size_t i) const {
+  std::uint64_t count = fired_[i].load(std::memory_order_relaxed);
+  if (points_[i].kind == FaultPoint::Kind::kFlaky &&
+      count > points_[i].max_fires) {
+    count = points_[i].max_fires;
+  }
+  return count;
+}
+
+std::uint64_t FaultPlan::total_fires() const {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    total += fires(i);
+  }
+  return total;
+}
+
+std::shared_ptr<FaultPlan> parse_fault_plan(const std::string& spec,
+                                            std::string* error) {
+  std::vector<FaultPoint> points;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) {
+      comma = spec.size();
+    }
+    const std::string item = spec.substr(start, comma - start);
+    start = comma + 1;
+    if (item.empty()) {
+      *error = "fault spec: empty point";
+      return nullptr;
+    }
+    FaultPoint point;
+    if (!parse_point(item, &point, error)) {
+      return nullptr;
+    }
+    points.push_back(point);
+    if (comma == spec.size()) {
+      break;
+    }
+  }
+  if (points.empty()) {
+    *error = "fault spec: no points";
+    return nullptr;
+  }
+  return std::make_shared<FaultPlan>(std::move(points));
+}
+
+std::string fault_spec(const FaultPlan& plan) {
+  std::string out;
+  for (const FaultPoint& p : plan.points()) {
+    if (!out.empty()) {
+      out += ',';
+    }
+    out += strfmt("%s@%d:%llu", kind_name(p.kind), p.rank,
+                  static_cast<unsigned long long>(p.op_index));
+    if (p.kind == FaultPoint::Kind::kDelay) {
+      out += strfmt(":%.0f", p.delay_us);
+    } else if (p.kind == FaultPoint::Kind::kFlaky) {
+      out += strfmt(":%llu", static_cast<unsigned long long>(p.max_fires));
+    }
+  }
+  return out;
+}
+
+FaultLayer::FaultLayer(std::shared_ptr<FaultPlan> plan, Rank rank)
+    : plan_(std::move(plan)), rank_(rank) {}
+
+void FaultLayer::pre_isend(ToolCtx& ctx, SendCall&) { on_op(ctx, "isend"); }
+void FaultLayer::pre_irecv(ToolCtx& ctx, RecvCall&) { on_op(ctx, "irecv"); }
+void FaultLayer::pre_wait(ToolCtx& ctx, RequestId) { on_op(ctx, "wait"); }
+void FaultLayer::pre_probe(ToolCtx& ctx, ProbeCall&) { on_op(ctx, "probe"); }
+void FaultLayer::pre_collective(ToolCtx& ctx, CollCall&) {
+  on_op(ctx, "collective");
+}
+
+void FaultLayer::on_op(ToolCtx& ctx, const char* what) {
+  ++ops_;
+  const std::vector<FaultPoint>& points = plan_->points();
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const FaultPoint& p = points[i];
+    if (p.rank != rank_ || p.op_index != ops_) {
+      continue;
+    }
+    if (!plan_->should_fire(i)) {
+      continue;
+    }
+    DAMPI_TEVENT(obs::EventKind::kFaultInject, obs::Phase::kInstant,
+                 static_cast<std::uint32_t>(rank_),
+                 static_cast<std::uint32_t>(ops_),
+                 static_cast<std::uint32_t>(p.kind));
+    switch (p.kind) {
+      case FaultPoint::Kind::kDelay:
+        ctx.add_cost(p.delay_us);
+        break;
+      case FaultPoint::Kind::kError:
+        throw FaultInjected(strfmt("MPI error injected at rank %d op %llu (%s)",
+                                   rank_,
+                                   static_cast<unsigned long long>(ops_),
+                                   what));
+      case FaultPoint::Kind::kAbort:
+      case FaultPoint::Kind::kFlaky:
+        throw FaultInjected(strfmt("rank abort injected at rank %d op %llu (%s)",
+                                   rank_,
+                                   static_cast<unsigned long long>(ops_),
+                                   what));
+    }
+  }
+}
+
+}  // namespace dampi::mpism

@@ -1,0 +1,99 @@
+// Deterministic fault injection for robustness campaigns.
+//
+// A FaultPlan names injection points by (rank, op_index) — the op index
+// is a 1-based count of the rank's MPI calls as they cross the tool
+// stack, which is a deterministic coordinate under guided replay. Four
+// actions exist:
+//
+//   abort@R:OP      rank R's OP-th MPI call throws (rank crash)
+//   error@R:OP      rank R's OP-th MPI call returns an MPI error
+//   delay@R:OP:US   rank R's OP-th MPI call costs an extra US virtual us
+//   flaky@R:OP:N    like abort, but only the first N times the point is
+//                   reached across the whole campaign — the
+//                   "transient fault" the explorer's retry path exists
+//                   for (deterministic at --jobs 1; wider pools race the
+//                   shared fire counter)
+//
+// One FaultPlan instance is shared by every run of an exploration, so
+// flaky fire-counters span the campaign, and its canonical spec string
+// is folded into checkpoint fingerprints.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "mpism/tool.hpp"
+#include "mpism/types.hpp"
+
+namespace dampi::mpism {
+
+/// Thrown by FaultLayer when an abort/error/flaky point fires; the
+/// engine records it as a program error prefixed "fault injected:".
+struct FaultInjected : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+struct FaultPoint {
+  enum class Kind { kAbort, kError, kDelay, kFlaky };
+  Kind kind = Kind::kAbort;
+  Rank rank = 0;
+  std::uint64_t op_index = 1;  ///< 1-based MPI-call count on `rank`
+  double delay_us = 0.0;       ///< kDelay only
+  std::uint64_t max_fires = 0; ///< kFlaky only: campaign-wide fire cap
+};
+
+/// A parsed fault campaign plus its shared fire counters.
+class FaultPlan {
+ public:
+  explicit FaultPlan(std::vector<FaultPoint> points);
+
+  const std::vector<FaultPoint>& points() const { return points_; }
+
+  /// True when point `i` should fire now; counts the fire. Thread-safe
+  /// (replay-pool workers share the plan).
+  bool should_fire(std::size_t i);
+
+  /// How many times point `i` has fired so far.
+  std::uint64_t fires(std::size_t i) const;
+  std::uint64_t total_fires() const;
+
+ private:
+  std::vector<FaultPoint> points_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> fired_;
+};
+
+/// Parse a comma-separated fault spec (grammar above). Returns nullptr
+/// and fills `*error` on malformed input.
+std::shared_ptr<FaultPlan> parse_fault_plan(const std::string& spec,
+                                            std::string* error);
+
+/// Canonical spec string (inverse of parse_fault_plan; stable across a
+/// parse/print round trip, used in checkpoint fingerprints).
+std::string fault_spec(const FaultPlan& plan);
+
+/// The interposition layer: one per rank, stacked above every other tool
+/// so it sees user-facing MPI calls in program order. Counts this rank's
+/// calls across all pre_* hooks and fires matching plan points.
+class FaultLayer final : public ToolLayer {
+ public:
+  FaultLayer(std::shared_ptr<FaultPlan> plan, Rank rank);
+
+  void pre_isend(ToolCtx& ctx, SendCall&) override;
+  void pre_irecv(ToolCtx& ctx, RecvCall&) override;
+  void pre_wait(ToolCtx& ctx, RequestId) override;
+  void pre_probe(ToolCtx& ctx, ProbeCall&) override;
+  void pre_collective(ToolCtx& ctx, CollCall&) override;
+
+ private:
+  void on_op(ToolCtx& ctx, const char* what);
+
+  std::shared_ptr<FaultPlan> plan_;
+  Rank rank_;
+  std::uint64_t ops_ = 0;
+};
+
+}  // namespace dampi::mpism

@@ -21,6 +21,16 @@ struct RunReport {
   /// Human-readable description of each blocked operation at deadlock.
   std::string deadlock_detail;
 
+  /// The run exceeded one of its RunOptions budgets (wall deadline,
+  /// vtime, or op count) — a watchdog verdict for a possible hang or
+  /// livelock; the explorer reports it as a kHang bug.
+  bool timed_out = false;
+  /// The run was ended early by an external CancelSource (global wall
+  /// budget, SIGINT); the run's outcome is unusable, not a bug.
+  bool cancelled = false;
+  /// Which budget or cancel reason ended the run; empty otherwise.
+  std::string stop_reason;
+
   /// Simulated execution time: max over ranks of accumulated virtual
   /// microseconds at completion (or at abort).
   double vtime_us = 0.0;

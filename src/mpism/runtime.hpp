@@ -5,6 +5,7 @@
 #include <functional>
 #include <memory>
 
+#include "mpism/cancel.hpp"
 #include "mpism/cost_model.hpp"
 #include "mpism/match_index.hpp"
 #include "mpism/policy.hpp"
@@ -37,6 +38,18 @@ struct RunOptions {
   MatchKind match = default_match_kind();
   /// Interposition stack; empty means a native (uninstrumented) run.
   ToolSetup tools;
+  /// Per-run budgets, all 0 = unlimited. A run that exceeds any of them
+  /// ends with RunReport::timed_out (watchdog verdict) instead of
+  /// hanging: wall-clock deadline (enforced at scheduler block/yield
+  /// points and at every MPI-call entry), virtual-time ceiling, and
+  /// MPI-op-count ceiling.
+  double max_run_wall_seconds = 0.0;
+  double max_run_vtime_us = 0.0;
+  std::uint64_t max_ops = 0;
+  /// External cancellation: when set, firing the source ends the run
+  /// with RunReport::cancelled (neither a verdict nor a bug). One
+  /// source may span many concurrent runs.
+  std::shared_ptr<CancelSource> cancel;
 };
 
 /// One Runtime executes one run. Construct fresh per run (replays build a

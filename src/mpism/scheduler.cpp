@@ -61,8 +61,15 @@ class ThreadScheduler final : public RankScheduler {
   }
 
   void block(std::unique_lock<std::mutex>& lk, Rank r) override {
-    cvs_[static_cast<std::size_t>(r)].wait(
-        lk, [this, r] { return cb_->wake_ready(r) || cb_->stop(); });
+    std::condition_variable& cv = cvs_[static_cast<std::size_t>(r)];
+    const auto pred = [this, r] { return cb_->wake_ready(r) || cb_->stop(); };
+    // An untimed wait is enough even for deadline-armed runs: a parked
+    // rank never has to notice the deadline itself. If any peer is still
+    // issuing ops, its budget charge declares the timeout within a
+    // 32-op stride and the abort wakes everyone here via stop(); if no
+    // peer is, the stall detector declares deadlock. Timed waits cost
+    // ~150ns each on the message critical path, so they stay out of it.
+    cv.wait(lk, pred);
   }
 
   void wake(Rank r) override {
@@ -127,9 +134,21 @@ class CoopScheduler final : public RankScheduler {
       }
     }
     std::uint64_t switches = 0;
+    const bool has_deadline =
+        cb.deadline != std::chrono::steady_clock::time_point{};
     {
       std::unique_lock<std::mutex> lk(mu);
       while (finished_ < nprocs_) {
+        // Run-to-block execution has exactly one preemption point — this
+        // dispatch loop — so the per-run deadline is checked here. This
+        // is what catches a livelocked spinner that only ever yields
+        // (never blocks): every yield funnels back through this loop.
+        // The clock read is amortized over 64 dispatches; a spinner
+        // cycles through here fast enough that the slack is microseconds.
+        if (has_deadline && (switches & 63) == 0 && !cb.stop() &&
+            std::chrono::steady_clock::now() >= cb.deadline) {
+          cb.on_deadline();
+        }
         const Rank r = pick();
         DAMPI_CHECK_MSG(r >= 0, "coop scheduler: no dispatchable rank");
         dispatch(lk, r);

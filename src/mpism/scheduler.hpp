@@ -25,6 +25,7 @@
 // engine's own count-based check (see Engine::maybe_declare_deadlock).
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -67,6 +68,19 @@ class RankScheduler {
     std::function<bool()> stop;
     /// No rank is runnable and not all have finished (coop only).
     std::function<void()> on_stall;
+    /// Wall-clock deadline for the whole run; the epoch time_point (the
+    /// default) means unarmed. CoopScheduler checks it in its dispatch
+    /// loop (amortized over 64 dispatches) — that is what catches a
+    /// yield-looping spinner, whose yields never pass through the
+    /// engine's blocking paths. ThreadScheduler ignores it: a parked
+    /// rank is released by stop() when a peer's per-op budget charge or
+    /// the stall detector declares the verdict, so its cv waits stay
+    /// untimed and off the message critical path.
+    std::chrono::steady_clock::time_point deadline{};
+    /// Invoked with the engine mutex held when `deadline` has passed
+    /// and the run has not stopped. Must be idempotent and must make
+    /// stop() true.
+    std::function<void()> on_deadline;
   };
 
   virtual ~RankScheduler() = default;

@@ -26,6 +26,12 @@ const KindInfo& kind_info(EventKind kind) {
       {"replay", {"speculative", nullptr, nullptr, "interleaving"}},
       {"replay.discard", {nullptr, nullptr, nullptr, nullptr}},
       {"sched.run", {"rank", nullptr, nullptr, nullptr}},
+      {"run.timeout", {nullptr, nullptr, nullptr, nullptr}},
+      {"run.cancel", {nullptr, nullptr, nullptr, nullptr}},
+      {"fault.inject", {"rank", "op", "kind", nullptr}},
+      {"replay.retry", {"attempt", nullptr, nullptr, nullptr}},
+      {"replay.quarantine", {nullptr, nullptr, nullptr, "interleaving"}},
+      {"checkpoint.write", {"frames", nullptr, nullptr, "interleaving"}},
   };
   static_assert(sizeof(kTable) / sizeof(kTable[0]) ==
                 static_cast<std::size_t>(EventKind::kKindCount));

@@ -53,6 +53,13 @@ enum class EventKind : std::uint16_t {
   kRunDiscard,      ///< instant: speculative result dropped at shutdown
   // coop scheduler (emitted in the host thread's lane)
   kSchedSwitch,     ///< span: a rank fiber held the host thread; a=rank
+  // resilience (engine / fault layer / explorer lanes)
+  kRunTimeout,      ///< instant: a per-run budget expired (watchdog)
+  kRunCancel,       ///< instant: an external CancelSource ended the run
+  kFaultInject,     ///< instant: fault point fired; a=rank b=op c=kind
+  kRetry,           ///< instant: failed replay re-executed; a=attempt
+  kQuarantine,      ///< instant: decision subtree quarantined; d=interleaving
+  kCheckpoint,      ///< span: checkpoint write; a=frames d=interleaving
   kKindCount
 };
 

@@ -172,4 +172,17 @@ void fan_in_rounds(Proc& p, int rounds) {
   }
 }
 
+void livelock(Proc& p) {
+  DAMPI_CHECK(p.size() >= 2);
+  if (p.rank() == 0) {
+    p.recv(1, /*tag=*/7);  // rank 1 never sends tag 7
+  } else if (p.rank() == 1) {
+    for (;;) {
+      if (p.iprobe(0, /*tag=*/9)) break;  // rank 0 never sends tag 9
+      p.compute(0.5);
+    }
+  }
+  // Ranks >= 2 finish immediately; their exit keeps the run "live".
+}
+
 }  // namespace dampi::workloads

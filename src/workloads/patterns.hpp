@@ -52,4 +52,11 @@ void leaky_program(mpism::Proc& p);
 /// assertions (bounded mixing, k=0 formula).
 void fan_in_rounds(mpism::Proc& p, int rounds);
 
+/// 2+ ranks, never terminates: rank 0 blocks on a receive nobody
+/// satisfies while rank 1 spins on iprobe for a message nobody sends,
+/// burning virtual time each poll. The live spinner defeats the
+/// blocked-count deadlock detector, so without a per-run watchdog the
+/// run wedges forever — the fixture for kHang verdicts.
+void livelock(mpism::Proc& p);
+
 }  // namespace dampi::workloads
