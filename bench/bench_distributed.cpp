@@ -1,0 +1,149 @@
+// Distributed campaign scaling: verify_cli --workers {1,2,4,8} on the
+// dist-fanout fixture, reporting wall time, interleaving counts, and
+// speedup vs 1 worker, plus the host core count — on a 1-core box the
+// honest curve is flat and the JSON records why.
+//
+// Unlike the in-process benches this one shells out to verify_cli (the
+// campaign IS a process tree; there is nothing meaningful to measure
+// in-process). The binary is located relative to argv[0]
+// (../examples/verify_cli) or via DAMPI_VERIFY_CLI.
+//
+// Emits BENCH_distributed.json (override with DAMPI_BENCH_OUT) for
+// scripts/bench_compare.py --distributed, which asserts the campaign
+// result is invariant across worker counts.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+
+namespace {
+
+std::string verify_cli_path(const char* argv0) {
+  if (const char* v = std::getenv("DAMPI_VERIFY_CLI")) return v;
+  std::string self(argv0);
+  const std::size_t slash = self.rfind('/');
+  const std::string dir = slash == std::string::npos ? "." : self.substr(0, slash);
+  return dir + "/../examples/verify_cli";
+}
+
+struct Row {
+  int workers = 0;
+  double wall_s = 0.0;
+  long long interleavings = -1;
+  int exit_code = -1;
+  std::string verdict;
+};
+
+Row run_campaign(const std::string& cli, int workers, int procs) {
+  Row row;
+  row.workers = workers;
+  // coop sched: deterministic, so every worker count must agree exactly.
+  std::string cmd = cli + " --program dist-fanout --sched coop --procs " +
+                    std::to_string(procs) + " --max-interleavings 1000000";
+  if (workers > 0) cmd += " --workers " + std::to_string(workers);
+  cmd += " 2>&1";
+
+  dampi::bench::WallTimer timer;
+  FILE* pipe = ::popen(cmd.c_str(), "r");
+  if (pipe == nullptr) {
+    std::fprintf(stderr, "bench_distributed: cannot run %s\n", cmd.c_str());
+    std::exit(2);
+  }
+  std::string out;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), pipe)) > 0) out.append(buf, n);
+  const int status = ::pclose(pipe);
+  row.wall_s = timer.seconds();
+  row.exit_code = (status >= 0 && WIFEXITED(status)) ? WEXITSTATUS(status) : -1;
+
+  std::size_t pos = out.find("interleavings explored :");
+  if (pos != std::string::npos) {
+    row.interleavings = std::atoll(out.c_str() + pos + std::strlen("interleavings explored :"));
+  }
+  pos = out.find("verdict                :");
+  if (pos != std::string::npos) {
+    const std::size_t start = pos + std::strlen("verdict                : ");
+    const std::size_t eol = out.find('\n', start);
+    row.verdict = out.substr(start, eol - start);
+  }
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dampi::bench::banner(
+      "Distributed sharded exploration: scaling vs worker count",
+      "sharded campaigns reach the same verdict as one process; wall time "
+      "scales with workers when cores are available");
+
+  const std::string cli = verify_cli_path(argv[0]);
+  const unsigned nproc = std::thread::hardware_concurrency();
+  std::printf("verify_cli: %s\nhost cores: %u\n\n", cli.c_str(), nproc);
+
+  // 6 ranks = 14400 interleavings (~1s of campaign), enough for shard
+  // queue + steals to matter; quick mode keeps the 36-run smoke.
+  const int procs = dampi::bench::env_procs(6, 4);
+  std::vector<int> widths = {1, 2, 4, 8};
+  if (dampi::bench::quick_mode()) widths = {1, 2};
+  if (argc > 1) {
+    widths.clear();
+    for (int i = 1; i < argc; ++i) widths.push_back(std::atoi(argv[i]));
+  }
+
+  std::vector<Row> rows;
+  std::printf("%8s %10s %15s %8s  %s\n", "workers", "wall_s", "interleavings",
+              "speedup", "verdict");
+  for (const int w : widths) {
+    Row row = run_campaign(cli, w, procs);
+    const double speedup =
+        rows.empty() || row.wall_s <= 0.0 ? 1.0 : rows.front().wall_s / row.wall_s;
+    std::printf("%8d %10.3f %15lld %7.2fx  %s\n", row.workers, row.wall_s,
+                row.interleavings, speedup, row.verdict.c_str());
+    rows.push_back(row);
+  }
+
+  const char* out_path = std::getenv("DAMPI_BENCH_OUT");
+  if (out_path == nullptr) out_path = "BENCH_distributed.json";
+  FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_distributed: cannot write %s\n", out_path);
+    return 2;
+  }
+  std::fprintf(f, "{\n  \"program\": \"dist-fanout\",\n  \"procs\": %d,\n"
+               "  \"nproc\": %u,\n  \"rows\": [\n", procs, nproc);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    const double speedup =
+        r.wall_s <= 0.0 ? 0.0 : rows.front().wall_s / r.wall_s;
+    std::fprintf(f,
+                 "    {\"workers\": %d, \"wall_s\": %.6f, "
+                 "\"interleavings\": %lld, \"exit\": %d, "
+                 "\"speedup\": %.4f, \"verdict\": \"%s\"}%s\n",
+                 r.workers, r.wall_s, r.interleavings, r.exit_code, speedup,
+                 r.verdict.c_str(), i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", out_path);
+
+  // The scaling claim is conditional on cores; the equivalence claim is
+  // not — fail loudly here too, not only in bench_compare.
+  for (const Row& r : rows) {
+    if (r.interleavings != rows.front().interleavings ||
+        r.exit_code != rows.front().exit_code) {
+      std::fprintf(stderr,
+                   "bench_distributed: DIVERGENCE at %d workers "
+                   "(interleavings %lld vs %lld, exit %d vs %d)\n",
+                   r.workers, r.interleavings, rows.front().interleavings,
+                   r.exit_code, rows.front().exit_code);
+      return 1;
+    }
+  }
+  return 0;
+}

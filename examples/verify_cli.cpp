@@ -23,6 +23,8 @@
 #include "core/decision_io.hpp"
 #include "core/report_format.hpp"
 #include "core/verifier.hpp"
+#include "dist/coordinator.hpp"
+#include "dist/worker.hpp"
 #include "mpism/cancel.hpp"
 #include "mpism/fault.hpp"
 #include "isp/isp_verifier.hpp"
@@ -49,6 +51,9 @@ std::map<std::string, mpism::ProgramFn> program_registry() {
   programs["wildcard-deadlock"] = workloads::wildcard_dependent_deadlock;
   programs["leaky"] = workloads::leaky_program;
   programs["livelock"] = workloads::livelock;
+  programs["dist-fanout"] = [](mpism::Proc& p) {
+    workloads::dist_fanout(p, /*rounds=*/2, /*spin_us=*/200.0);
+  };
   programs["matmult"] = [](mpism::Proc& p) {
     workloads::MatmultConfig config;
     config.n = 8;
@@ -137,6 +142,21 @@ int usage(const char* argv0) {
       "  --resume               continue from --checkpoint FILE instead "
       "of\n"
       "                         starting over (options must match)\n"
+      "distributed options:\n"
+      "  --workers N            distributed campaign: shard the frontier "
+      "across\n"
+      "                         N worker processes with work-stealing; "
+      "the\n"
+      "                         merged report and exit code are identical "
+      "to a\n"
+      "                         single-process run's\n"
+      "  --dist-socket PATH     rendezvous over an AF_UNIX socket at PATH\n"
+      "                         instead of inherited socketpairs\n"
+      "  --worker               run as a campaign worker (spawned by the\n"
+      "                         coordinator; not for direct use)\n"
+      "  --worker-id N          this worker's id within the campaign\n"
+      "  --coordinator-socket S worker-side channel: fd:N or a socket "
+      "path\n"
       "exit codes: 0 clean, 1 bug(s) found, 2 budget exhausted / "
       "interrupted /\n"
       "            quarantined subtrees, 3 usage or internal error\n",
@@ -183,6 +203,11 @@ int main(int argc, char** argv) {
   std::string checkpoint_path;
   std::uint64_t checkpoint_interval = 64;
   bool resume = false;
+  int workers = 0;  // 0 = in-process exploration (the default)
+  std::string dist_socket;
+  bool worker_mode = false;
+  int worker_id = 0;
+  std::string coordinator_socket;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -297,6 +322,28 @@ int main(int argc, char** argv) {
       checkpoint_interval = std::strtoull(v, nullptr, 10);
     } else if (arg == "--resume") {
       resume = true;
+    } else if (arg == "--workers") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      workers = std::atoi(v);
+      if (workers < 1) {
+        std::printf("--workers must be >= 1\n");
+        return usage(argv[0]);
+      }
+    } else if (arg == "--dist-socket") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      dist_socket = v;
+    } else if (arg == "--worker") {
+      worker_mode = true;
+    } else if (arg == "--worker-id") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      worker_id = std::atoi(v);
+    } else if (arg == "--coordinator-socket") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      coordinator_socket = v;
     } else {
       std::printf("unknown option: %s\n", arg.c_str());
       return usage(argv[0]);
@@ -364,6 +411,22 @@ int main(int argc, char** argv) {
       return usage(argv[0]);
     }
   }
+  if (worker_mode) {
+    if (coordinator_socket.empty()) {
+      std::printf("--worker requires --coordinator-socket\n");
+      return usage(argv[0]);
+    }
+    // A terminal ^C goes to the whole foreground process group; workers
+    // must ignore it and let the coordinator cancel them cooperatively
+    // over the channel, or every ^C would look like a crash storm.
+    std::signal(SIGINT, SIG_IGN);
+    dist::WorkerConfig config;
+    config.socket_spec = coordinator_socket;
+    config.worker_id = worker_id;
+    config.options = explorer_options;
+    return dist::run_worker(config, it->second);
+  }
+
   if (resume) {
     if (checkpoint_path.empty()) {
       std::printf("--resume requires --checkpoint FILE\n");
@@ -441,8 +504,77 @@ int main(int argc, char** argv) {
     return finish(0);
   }
 
+  const bool distributed = workers > 0;
+  if (distributed && use_isp) {
+    std::printf("--workers is not supported with --isp\n");
+    stop_bridge();
+    return usage(argv[0]);
+  }
+
   core::VerifyResult result;
-  if (use_isp) {
+  std::string dist_error;
+  dist::DistStats dist_stats;
+  if (distributed) {
+    // Native baseline first (same as Verifier::verify), then the
+    // sharded campaign instead of the in-process walk.
+    {
+      mpism::RunOptions native;
+      native.nprocs = explorer_options.nprocs;
+      native.cost = explorer_options.cost;
+      native.policy = explorer_options.policy;
+      native.policy_seed = explorer_options.policy_seed;
+      native.sched = explorer_options.sched;
+      native.match = explorer_options.match;
+      native.max_run_wall_seconds = explorer_options.run_deadline_seconds;
+      native.max_run_vtime_us = explorer_options.max_run_vtime_us;
+      native.max_ops = explorer_options.max_run_ops;
+      native.cancel = explorer_options.cancel;
+      mpism::Runtime runtime(std::move(native));
+      result.native_vtime_us = runtime.run(it->second).vtime_us;
+    }
+
+    dist::DistOptions dist_options;
+    dist_options.workers = workers;
+    dist_options.socket_path = dist_socket;
+    dist_options.explorer = explorer_options;
+    // Workers re-parse this binary's own arguments, minus anything that
+    // is coordinator-only (reporting, the distributed flags themselves,
+    // --resume: shards already embed the restored state).
+    dist_options.worker_argv.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--workers" || arg == "--dist-socket" || arg == "--trace" ||
+          arg == "--trace-capacity" || arg == "--save-repro") {
+        ++i;  // skip the flag's value too
+        continue;
+      }
+      if (arg == "--metrics" || arg == "--resume") continue;
+      dist_options.worker_argv.push_back(arg);
+    }
+
+    dist::DistResult dist_result = dist::run_distributed(dist_options,
+                                                         it->second);
+    dist_error = dist_result.error;
+    dist_stats = dist_result.stats;
+    for (const auto& [wid, dump] : dist_result.worker_metrics) {
+      obs::Registry::instance().merge_dump(dump, "w" + std::to_string(wid));
+    }
+    result.exploration = std::move(dist_result.exploration);
+    result.instrumented_vtime_us = result.exploration.first_run_vtime_us;
+    if (result.native_vtime_us > 0.0) {
+      result.slowdown =
+          result.instrumented_vtime_us / result.native_vtime_us;
+    }
+    result.comm_leaks = result.exploration.first_report.comm_leaks;
+    result.request_leaks = result.exploration.first_report.request_leaks;
+    for (const core::BugRecord& bug : result.exploration.bugs) {
+      if (bug.kind == core::BugRecord::Kind::kDeadlock) {
+        result.deadlock_found = true;
+      }
+      if (bug.kind == core::BugRecord::Kind::kError) result.error_found = true;
+      if (bug.kind == core::BugRecord::Kind::kHang) result.hang_found = true;
+    }
+  } else if (use_isp) {
     isp::IspOptions options;
     options.explorer = explorer_options;
     isp::IspVerifier verifier(options);
@@ -459,7 +591,22 @@ int main(int argc, char** argv) {
               "%s)\n",
               name.c_str(), procs, use_isp ? "ISP baseline" : "DAMPI",
               mpism::sched_spec(sched).c_str(), mpism::match_spec(match));
+  if (distributed) {
+    std::printf(
+        "distributed campaign   : %d workers (%d spawned), %llu shards "
+        "(%llu stolen, %llu escaped, %llu requeued), %d worker deaths\n",
+        workers, dist_stats.workers_spawned,
+        static_cast<unsigned long long>(dist_stats.shards_initial),
+        static_cast<unsigned long long>(dist_stats.shards_stolen),
+        static_cast<unsigned long long>(dist_stats.shards_escaped),
+        static_cast<unsigned long long>(dist_stats.shards_requeued),
+        dist_stats.worker_deaths);
+  }
   std::printf("%s", core::format_verify_result(result).c_str());
+  if (!dist_error.empty()) {
+    std::printf("campaign error         : %s\n", dist_error.c_str());
+    return finish(3);
+  }
   const core::ExploreResult& e = result.exploration;
   if (e.bugs.empty()) {
     // No verdicts, but a partial search is not a clean bill of health:

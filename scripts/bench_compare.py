@@ -7,8 +7,15 @@ per-benchmark real_time. The indexed matcher is the default, so a run
 where it is meaningfully slower than the linear oracle is a regression
 worth failing on.
 
+With --distributed PATH it instead reads the BENCH_distributed.json that
+bench_distributed emits and checks the campaign-equivalence contract:
+every worker count must report identical interleavings, exit code, and
+verdict. Speedup is reported but never failed on — a 1-core host has a
+legitimately flat curve (the JSON records nproc for exactly this reason).
+
 Usage:
   scripts/bench_compare.py [--bench PATH] [--tolerance FRAC] [--warn-only]
+  scripts/bench_compare.py --distributed BENCH_distributed.json [--warn-only]
 
 Exit codes: 0 ok (or --warn-only), 1 regression, 2 cannot run bench.
 """
@@ -47,8 +54,54 @@ def run_bench(bench, match_kind):
     return results
 
 
+def check_distributed(path, warn_only):
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, ValueError) as err:
+        print(f"bench_compare: cannot read {path} ({err})", file=sys.stderr)
+        sys.exit(2)
+
+    rows = data.get("rows", [])
+    if len(rows) < 2:
+        print("bench_compare: need at least two worker counts", file=sys.stderr)
+        sys.exit(2)
+
+    nproc = data.get("nproc", 0)
+    base = rows[0]
+    print(f"{'workers':>8} {'wall_s':>10} {'interleavings':>14} "
+          f"{'speedup':>8}  verdict  (host cores: {nproc})")
+    divergent = []
+    for row in rows:
+        same = (row["interleavings"] == base["interleavings"]
+                and row["exit"] == base["exit"]
+                and row.get("verdict") == base.get("verdict"))
+        if not same:
+            divergent.append(row["workers"])
+        print(f"{row['workers']:>8} {row['wall_s']:>10.3f} "
+              f"{row['interleavings']:>14} {row['speedup']:>7.2f}x  "
+              f"{row.get('verdict', '?')}"
+              f"{'' if same else '  <-- DIVERGENT'}")
+
+    if divergent:
+        print(f"bench_compare: campaign result diverges at worker counts "
+              f"{divergent} — sharding changed the verdict", file=sys.stderr)
+        if not warn_only:
+            sys.exit(1)
+        print("bench_compare: --warn-only set, not failing", file=sys.stderr)
+    else:
+        print("bench_compare: campaign result invariant across worker counts")
+        if nproc <= 1:
+            print("bench_compare: 1-core host — flat scaling curve expected")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--distributed",
+        metavar="JSON",
+        help="check a BENCH_distributed.json instead of the matcher bench",
+    )
     parser.add_argument(
         "--bench",
         default="build/bench/bench_micro",
@@ -66,6 +119,10 @@ def main():
         help="report regressions but exit 0 (CI smoke mode)",
     )
     args = parser.parse_args()
+
+    if args.distributed:
+        check_distributed(args.distributed, args.warn_only)
+        return
 
     if not os.path.exists(args.bench):
         print(f"bench_compare: {args.bench} not built", file=sys.stderr)

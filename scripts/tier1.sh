@@ -109,6 +109,67 @@ fi
 rm -f "${ckpt}"
 echo "tier1: SIGINT kill/resume smoke OK"
 
+# Distributed campaign stage. A 4-worker sharded campaign must report
+# exactly what the 1-worker campaign does on every example — same exit
+# code, same interleaving count, same verdict (coop scheduler: both
+# sides fully deterministic).
+for prog in fig3-benign fig3 fig4 wildcard-deadlock; do
+  single_rc=0
+  single="$(build/examples/verify_cli --program "${prog}" --sched coop \
+    --workers 1)" || single_rc=$?
+  multi_rc=0
+  multi="$(build/examples/verify_cli --program "${prog}" --sched coop \
+    --workers 4)" || multi_rc=$?
+  if [[ "${multi_rc}" != "${single_rc}" ]] || \
+     [[ "$(filter "${single}")" != "$(filter "${multi}")" ]]; then
+    echo "tier1: FAIL: distributed mismatch on ${prog}" \
+      "(rc ${single_rc} vs ${multi_rc})" >&2
+    diff <(filter "${single}") <(filter "${multi}") >&2 || true
+    exit 1
+  fi
+done
+echo "tier1: distributed 4-worker sweep OK"
+
+# Kill-a-worker smoke: SIGKILL a worker process mid-campaign; the
+# coordinator must requeue its shard from the per-worker journal
+# (<ckpt>.wN) and finish with the undisturbed campaign's exact result.
+# (If the kill races past the campaign's end it degrades to a plain
+# equality check, same stance as the SIGINT smoke above.)
+dist_ckpt="build/tier1-dist.ckpt"
+rm -f "${dist_ckpt}" "${dist_ckpt}".w*
+expected_rc=0
+expected="$(build/examples/verify_cli --program dist-fanout --procs 6 \
+  --sched coop --max-interleavings 100000 --workers 2)" || expected_rc=$?
+build/examples/verify_cli --program dist-fanout --procs 6 --sched coop \
+  --max-interleavings 100000 --workers 2 --checkpoint "${dist_ckpt}" \
+  > build/tier1-dist.out 2>&1 &
+coord=$!
+for _ in $(seq 1 100); do
+  wpid="$(pgrep -n -f "verify_cli.*--worker-id" || true)"
+  [[ -n "${wpid}" ]] && break
+  kill -0 "${coord}" 2> /dev/null || break
+  sleep 0.01
+done
+sleep 0.3
+[[ -n "${wpid:-}" ]] && kill -KILL "${wpid}" 2> /dev/null || true
+killed_rc=0
+wait "${coord}" || killed_rc=$?
+killed="$(cat build/tier1-dist.out)"
+if [[ "${killed_rc}" != "${expected_rc}" ]] || \
+   [[ "$(filter "${expected}")" != "$(filter "${killed}")" ]]; then
+  echo "tier1: FAIL: kill-a-worker result mismatch" \
+    "(rc ${expected_rc} vs ${killed_rc})" >&2
+  diff <(filter "${expected}") <(filter "${killed}") >&2 || true
+  exit 1
+fi
+rm -f "${dist_ckpt}" "${dist_ckpt}".w* build/tier1-dist.out
+echo "tier1: distributed kill-a-worker smoke OK"
+
+# Distributed tests on their own label, same visibility rationale as the
+# resil stage.
+(cd build && ctest --output-on-failure -L dist -j "${jobs}")
+echo "tier1: dist sweep OK"
+
 # Trace smoke test: a parallel exploration traced end to end must export
 # a valid Chrome trace with a lane per rank (4), per worker (3), and the
 # explorer lane. Exit 2 is expected: 200 interleavings do not finish
@@ -138,6 +199,17 @@ if command -v python3 > /dev/null 2>&1; then
 else
   echo "tier1: python3 unavailable, skipping matcher perf smoke"
 fi
+
+# Distributed scaling smoke: the bench itself fails on any cross-width
+# divergence; the compare step re-checks the JSON (warn-only for the
+# speedup column — scaling is conditional on cores, equivalence is not).
+DAMPI_BENCH_QUICK=1 DAMPI_BENCH_OUT=build/BENCH_distributed.json \
+  build/bench/bench_distributed
+if command -v python3 > /dev/null 2>&1; then
+  python3 scripts/bench_compare.py \
+    --distributed build/BENCH_distributed.json --warn-only
+fi
+echo "tier1: distributed scaling smoke OK"
 
 if [[ "${1:-}" == "--skip-tsan" ]]; then
   echo "tier1: skipping ThreadSanitizer stage"

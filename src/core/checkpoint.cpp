@@ -26,50 +26,9 @@ std::uint64_t hash_schedule(const Schedule& schedule) {
   return h;
 }
 
-/// One-line-safe encoding for error messages / deadlock details.
-std::string escape(const std::string& text) {
-  std::string out;
-  out.reserve(text.size());
-  for (const char c : text) {
-    switch (c) {
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      default:
-        out += c;
-    }
-  }
-  return out;
-}
-
-std::string unescape(const std::string& text) {
-  std::string out;
-  out.reserve(text.size());
-  for (std::size_t i = 0; i < text.size(); ++i) {
-    if (text[i] != '\\' || i + 1 == text.size()) {
-      out += text[i];
-      continue;
-    }
-    ++i;
-    switch (text[i]) {
-      case 'n':
-        out += '\n';
-        break;
-      case 'r':
-        out += '\r';
-        break;
-      default:
-        out += text[i];
-    }
-  }
-  return out;
-}
+// One-line-safe text encoding shared with the dist wire protocol.
+using dampi::escape_line;
+using dampi::unescape_line;
 
 /// The remainder of `line` after the leading keyword and one space.
 std::string rest_of_line(const std::string& line, std::size_t keyword_len) {
@@ -130,22 +89,25 @@ std::string serialize_checkpoint(const Checkpoint& checkpoint) {
     for (const mpism::Rank src : frame.seen) {
       out += strfmt(" %d", src);
     }
+    // Trailing optional field (absent in pre-dist journals, which parse
+    // with escape_alts=false): coordinator-owned decision site.
+    if (frame.escape_alts) out += " e 1";
     out += '\n';
   }
   for (const BugRecord& bug : checkpoint.bugs) {
     out += strfmt("bug %d %llu\n", static_cast<int>(bug.kind),
                   static_cast<unsigned long long>(bug.interleaving));
     for (const mpism::ErrorInfo& err : bug.errors) {
-      out += strfmt("berr %d %s\n", err.rank, escape(err.message).c_str());
+      out += strfmt("berr %d %s\n", err.rank, escape_line(err.message).c_str());
     }
-    out += "bdetail " + escape(bug.deadlock_detail) + '\n';
+    out += "bdetail " + escape_line(bug.deadlock_detail) + '\n';
     for (const auto& [key, src] : bug.schedule.forced) {
       out += strfmt("bdec %d %llu %d\n", key.rank,
                     static_cast<unsigned long long>(key.nd_index), src);
     }
   }
   for (const std::string& alert : checkpoint.unsafe_alerts) {
-    out += "alert " + escape(alert) + '\n';
+    out += "alert " + escape_line(alert) + '\n';
   }
   out += "end\n";
   return out;
@@ -241,6 +203,13 @@ std::optional<Checkpoint> parse_checkpoint(
         }
         frame.seen.insert(src);
       }
+      if (ls >> marker) {
+        int escape = 0;
+        if (marker != "e" || !(ls >> escape)) {
+          return fail(strfmt("line %d: bad frame trailer", line_no));
+        }
+        frame.escape_alts = escape != 0;
+      }
       cp.frames.push_back(std::move(frame));
       open_bug = nullptr;
     } else if (keyword == "bug") {
@@ -261,13 +230,13 @@ std::optional<Checkpoint> parse_checkpoint(
       std::string rest;
       std::getline(ls, rest);
       if (!rest.empty() && rest[0] == ' ') rest.erase(0, 1);
-      err.message = unescape(rest);
+      err.message = unescape_line(rest);
       open_bug->errors.push_back(std::move(err));
     } else if (keyword == "bdetail") {
       if (open_bug == nullptr) {
         return fail(strfmt("line %d: bdetail outside a bug block", line_no));
       }
-      open_bug->deadlock_detail = unescape(rest_of_line(line, keyword.size()));
+      open_bug->deadlock_detail = unescape_line(rest_of_line(line, keyword.size()));
     } else if (keyword == "bdec") {
       EpochKey key;
       mpism::Rank src = -1;
@@ -277,7 +246,7 @@ std::optional<Checkpoint> parse_checkpoint(
       }
       open_bug->schedule.forced[key] = src;
     } else if (keyword == "alert") {
-      cp.unsafe_alerts.push_back(unescape(rest_of_line(line, keyword.size())));
+      cp.unsafe_alerts.push_back(unescape_line(rest_of_line(line, keyword.size())));
       open_bug = nullptr;
     } else if (keyword == "end") {
       saw_end = true;

@@ -91,6 +91,49 @@ bool failed_retryably(const mpism::RunReport& report) {
          (report.timed_out || !report.errors.empty());
 }
 
+/// Work-stealing carve: remove half of the shallowest non-empty untried
+/// list (shallowest = largest subtrees, the classic steal heuristic) and
+/// package it as a resumable shard checkpoint. Ownership of every prefix
+/// site — victim frames 0..pos — transfers to the coordinator: both the
+/// victim and the thief now *escape* newly revealed alternatives there,
+/// so the coordinator's per-site dedup keeps shard accounting
+/// exactly-once. Returns nullptr when the stack has nothing to steal.
+std::shared_ptr<Checkpoint> carve_steal(std::vector<DfsFrame>& stack,
+                                        const std::string& fingerprint) {
+  int pos = -1;
+  for (int i = 0; i < static_cast<int>(stack.size()); ++i) {
+    if (!stack[static_cast<std::size_t>(i)].untried.empty()) {
+      pos = i;
+      break;
+    }
+  }
+  if (pos < 0) return nullptr;
+
+  DfsFrame& victim = stack[static_cast<std::size_t>(pos)];
+  // The victim consumes untried from the back; steal from the front so
+  // its imminent work is untouched.
+  const std::size_t take = (victim.untried.size() + 1) / 2;
+  std::vector<mpism::Rank> stolen(victim.untried.begin(),
+                                  victim.untried.begin() +
+                                      static_cast<std::ptrdiff_t>(take));
+  victim.untried.erase(victim.untried.begin(),
+                       victim.untried.begin() +
+                           static_cast<std::ptrdiff_t>(take));
+
+  auto shard = std::make_shared<Checkpoint>();
+  shard->fingerprint = fingerprint;
+  shard->frames.assign(stack.begin(),
+                       stack.begin() + static_cast<std::ptrdiff_t>(pos) + 1);
+  for (DfsFrame& frame : shard->frames) frame.escape_alts = true;
+  shard->frames.back().untried = std::move(stolen);
+  // Ownership transfer on the victim side too (frames 0..pos-1 have
+  // empty untried by construction — pos is the shallowest non-empty).
+  for (int j = 0; j <= pos; ++j) {
+    stack[static_cast<std::size_t>(j)].escape_alts = true;
+  }
+  return shard;
+}
+
 }  // namespace
 
 Explorer::Explorer(ExplorerOptions options) : options_(std::move(options)) {}
@@ -172,7 +215,24 @@ void Explorer::extend_stack(const RunTrace& trace, int flip_pos,
     }
     if (merge_prefix_alts && frame.record_alts) {
       for (const auto& [src, match] : it->second->alternatives) {
-        if (frame.seen.insert(src).second) frame.untried.push_back(src);
+        if (frame.seen.insert(src).second) {
+          if (frame.escape_alts) {
+            // Coordinator-owned site: report instead of exploring, so a
+            // sharded campaign explores the alternative exactly once no
+            // matter how many workers' runs reveal it.
+            EscapedAlt escape{
+                {stack_.begin(),
+                 stack_.begin() + static_cast<std::ptrdiff_t>(j) + 1},
+                src};
+            if (options_.on_escape) {
+              options_.on_escape(escape);
+            } else {
+              result.escaped.push_back(std::move(escape));
+            }
+          } else {
+            frame.untried.push_back(src);
+          }
+        }
       }
     }
   }
@@ -407,8 +467,8 @@ ExploreResult Explorer::explore(const mpism::ProgramFn& program,
     }
   }
 
-  const bool stop_now =
-      aborted_discovery || (options_.stop_on_first_error && result.found_bug());
+  const bool stop_now = aborted_discovery || options_.discovery_only ||
+                        (options_.stop_on_first_error && result.found_bug());
   while (!stop_now) {
     if (cancel->requested()) {
       // The cancel landed between runs (or a cancelled run already broke
@@ -430,6 +490,15 @@ ExploreResult Explorer::explore(const mpism::ProgramFn& program,
       // Backstop for the watchdog (e.g. it lost the race to arm).
       result.time_budget_exhausted = true;
       break;
+    }
+
+    // Serve pending work-steal requests before committing to the next
+    // flip: each poll consumes one request; the carve mutates the stack
+    // on this thread, so the thief and the victim can never race.
+    if (options_.steal_poll && options_.on_steal) {
+      while (options_.steal_poll()) {
+        options_.on_steal(carve_steal(stack_, fingerprint));
+      }
     }
 
     // Deepest frame with an untried alternative.
@@ -512,6 +581,9 @@ ExploreResult Explorer::explore(const mpism::ProgramFn& program,
     flush_checkpoint();
   }
 
+  if (options_.export_frontier || options_.discovery_only) {
+    result.frontier = stack_;
+  }
   stop_watchdog();
   pool.shutdown();
   result.pool = pool.stats();

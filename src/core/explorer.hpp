@@ -77,6 +77,27 @@ struct DfsFrame {
   /// epoch never exceeds k levels (paper §III-B2: "recursively explore
   /// all paths below that option up to depth k").
   int mix_budget = 0;
+  /// Sharded exploration: this frame's decision site is owned by the
+  /// campaign coordinator, not this walk. Newly revealed alternatives
+  /// are reported in ExploreResult::escaped (for central dedup and
+  /// re-sharding) instead of being merged into `untried` locally — the
+  /// mechanism behind the exactly-once shard accounting invariant
+  /// (DESIGN.md §4.12). Set on every prefix frame of a shard checkpoint
+  /// and on frames whose site ownership was transferred by a steal.
+  bool escape_alts = false;
+};
+
+/// An alternative revealed for an escape_alts frame: the walk did not
+/// explore it; the coordinator dedups it against the site's global seen
+/// set and spawns a new shard if it is genuinely new. Carries a snapshot
+/// of the stack prefix 0..pos (the site frame and everything above it)
+/// because the live stack's taken_src values can change after the escape
+/// — later flips of the site frame, or a steal that transfers deeper
+/// locally-grown frames — and the site is defined by the decisions in
+/// force when the alternative was revealed.
+struct EscapedAlt {
+  std::vector<DfsFrame> frames;  ///< stack[0..pos] at escape time
+  mpism::Rank src = -1;
 };
 
 struct ExploreResult {
@@ -119,6 +140,15 @@ struct ExploreResult {
 
   /// Replay-pool counters (ExplorerOptions::jobs and friends).
   PoolStats pool;
+
+  /// --- Distributed sharding ---------------------------------------------
+  /// Alternatives revealed for coordinator-owned (escape_alts) frames;
+  /// empty outside sharded walks. See EscapedAlt.
+  std::vector<EscapedAlt> escaped;
+  /// Final frame stack, exported when ExplorerOptions::export_frontier
+  /// (or discovery_only) is set — the unit of work split_frontier()
+  /// shards across worker processes.
+  std::vector<DfsFrame> frontier;
 
   bool found_bug() const { return !bugs.empty(); }
 };

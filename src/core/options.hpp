@@ -20,6 +20,7 @@
 namespace dampi::core {
 
 struct Checkpoint;
+struct EscapedAlt;
 
 /// Which causality tracker drives late-message analysis. Lamport is the
 /// paper's scalable default; Vector restores the completeness lost on
@@ -191,6 +192,35 @@ struct ExplorerOptions {
   /// and continues where the journal left off. The fingerprint check
   /// happens at load time.
   std::shared_ptr<const Checkpoint> resume_from;
+
+  /// --- Distributed sharding (src/dist/) -----------------------------------
+
+  /// Stop after the discovery run (or the resume_from restore): judge the
+  /// first run, extend the frontier once, and return without walking it.
+  /// Implies export_frontier. This is how the campaign coordinator
+  /// obtains the frame stack it shards across worker processes.
+  bool discovery_only = false;
+
+  /// Copy the final frame stack into ExploreResult::frontier at every
+  /// walk exit (cheap; off by default because the stack can be large).
+  bool export_frontier = false;
+
+  /// Invoked the moment an alternative is escaped (instead of recording
+  /// it in ExploreResult::escaped), on the exploring thread. A
+  /// distributed worker ships each escape to the coordinator eagerly
+  /// through this hook: the send happens before the revealing run can
+  /// reach the checkpoint journal, so a worker death never strands an
+  /// escape inside a journalled (never re-executed) run.
+  std::function<void(const EscapedAlt&)> on_escape;
+
+  /// Work-stealing hooks, polled between runs. When steal_poll() returns
+  /// true the explorer carves off half of the shallowest non-empty
+  /// untried list as a shard checkpoint — transferring ownership of every
+  /// prefix site to the coordinator (escape_alts) — and hands it to
+  /// on_steal; nullptr means there was nothing to steal. Both hooks run
+  /// on the exploring thread.
+  std::function<bool()> steal_poll;
+  std::function<void(std::shared_ptr<const Checkpoint>)> on_steal;
 };
 
 }  // namespace dampi::core

@@ -1,0 +1,418 @@
+#include "dist/protocol.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/strutil.hpp"
+#include "core/shard.hpp"
+
+namespace dampi::dist {
+
+namespace {
+
+constexpr char kMagic[4] = {'D', 'M', 'P', '1'};
+constexpr std::size_t kHeaderBytes = 4 + 2 + 4;
+/// Backstop against a corrupt length field; real payloads are a few KB.
+constexpr std::uint32_t kMaxPayload = 64u * 1024u * 1024u;
+
+constexpr const char* kResultHeader = "# dampi-dist-result v1";
+
+bool write_all(int fd, const char* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+void MessageChannel::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  rx_.clear();
+}
+
+bool MessageChannel::send(MsgType type, std::string_view payload) {
+  if (fd_ < 0) return false;
+  char header[kHeaderBytes];
+  std::memcpy(header, kMagic, 4);
+  const std::uint16_t t = static_cast<std::uint16_t>(type);
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  std::memcpy(header + 4, &t, 2);
+  std::memcpy(header + 6, &len, 4);
+  return write_all(fd_, header, kHeaderBytes) &&
+         write_all(fd_, payload.data(), payload.size());
+}
+
+MessageChannel::RecvStatus MessageChannel::recv(WireMessage* out,
+                                                int timeout_ms) {
+  if (fd_ < 0) return RecvStatus::kClosed;
+  for (;;) {
+    // A complete frame may already be buffered from a previous read.
+    if (rx_.size() >= kHeaderBytes) {
+      if (std::memcmp(rx_.data(), kMagic, 4) != 0) {
+        close();
+        return RecvStatus::kClosed;
+      }
+      std::uint16_t t = 0;
+      std::uint32_t len = 0;
+      std::memcpy(&t, rx_.data() + 4, 2);
+      std::memcpy(&len, rx_.data() + 6, 4);
+      if (len > kMaxPayload) {
+        close();
+        return RecvStatus::kClosed;
+      }
+      if (rx_.size() >= kHeaderBytes + len) {
+        out->type = static_cast<MsgType>(t);
+        out->payload = rx_.substr(kHeaderBytes, len);
+        rx_.erase(0, kHeaderBytes + len);
+        return RecvStatus::kMessage;
+      }
+    }
+
+    struct pollfd pfd;
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int pr = ::poll(&pfd, 1, timeout_ms);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      close();
+      return RecvStatus::kClosed;
+    }
+    if (pr == 0) return RecvStatus::kWouldBlock;
+
+    char buf[16384];
+    const ssize_t n = ::read(fd_, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return RecvStatus::kWouldBlock;
+      }
+      close();
+      return RecvStatus::kClosed;
+    }
+    if (n == 0) {
+      // EOF with a partial frame buffered is a dead peer either way.
+      close();
+      return RecvStatus::kClosed;
+    }
+    rx_.append(buf, static_cast<std::size_t>(n));
+    // Loop back to try extracting a frame; with timeout 0 this still
+    // returns kWouldBlock promptly once the buffer runs dry.
+  }
+}
+
+int connect_socket(const std::string& spec, std::string* error) {
+  if (spec.rfind("fd:", 0) == 0) {
+    const int fd = std::atoi(spec.c_str() + 3);
+    if (fd < 0) {
+      if (error != nullptr) *error = "bad fd spec: " + spec;
+      return -1;
+    }
+    return fd;
+  }
+  struct sockaddr_un addr;
+  if (spec.size() >= sizeof addr.sun_path) {
+    if (error != nullptr) *error = "socket path too long: " + spec;
+    return -1;
+  }
+  // The coordinator binds before spawning workers, but an externally
+  // launched worker may race it — retry for a couple of seconds.
+  for (int attempt = 0; attempt < 40; ++attempt) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) break;
+    std::memset(&addr, 0, sizeof addr);
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, spec.c_str(), sizeof addr.sun_path - 1);
+    if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                  sizeof addr) == 0) {
+      return fd;
+    }
+    ::close(fd);
+    struct timespec ts = {0, 50 * 1000 * 1000};
+    ::nanosleep(&ts, nullptr);
+  }
+  if (error != nullptr) {
+    *error = strfmt("cannot connect to %s: %s", spec.c_str(),
+                    std::strerror(errno));
+  }
+  return -1;
+}
+
+int listen_socket(const std::string& path, std::string* error) {
+  struct sockaddr_un addr;
+  if (path.size() >= sizeof addr.sun_path) {
+    if (error != nullptr) *error = "socket path too long: " + path;
+    return -1;
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    return -1;
+  }
+  ::unlink(path.c_str());
+  std::memset(&addr, 0, sizeof addr);
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof addr) !=
+          0 ||
+      ::listen(fd, 64) != 0) {
+    if (error != nullptr) {
+      *error = strfmt("cannot listen on %s: %s", path.c_str(),
+                      std::strerror(errno));
+    }
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+// --- Payloads --------------------------------------------------------------
+
+std::string serialize_hello(const Hello& hello) {
+  return strfmt("id %d\n", hello.worker_id) + "options " + hello.fingerprint +
+         '\n';
+}
+
+std::optional<Hello> parse_hello(const std::string& payload,
+                                 std::string* error) {
+  Hello hello;
+  std::istringstream in(payload);
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    std::string keyword;
+    ls >> keyword;
+    if (keyword == "id") {
+      if (!(ls >> hello.worker_id)) {
+        if (error != nullptr) *error = "bad hello id line";
+        return std::nullopt;
+      }
+    } else if (keyword == "options") {
+      hello.fingerprint =
+          line.size() > keyword.size() + 1 ? line.substr(keyword.size() + 1)
+                                           : "";
+    }
+  }
+  if (hello.worker_id < 0 || hello.fingerprint.empty()) {
+    if (error != nullptr) *error = "incomplete hello";
+    return std::nullopt;
+  }
+  return hello;
+}
+
+std::string serialize_shard(std::uint64_t shard_id,
+                            const std::string& checkpoint_text) {
+  return strfmt("shard %llu\n", static_cast<unsigned long long>(shard_id)) +
+         checkpoint_text;
+}
+
+std::optional<core::Checkpoint> parse_shard(
+    const std::string& payload, const std::string& expected_fingerprint,
+    std::uint64_t* shard_id, std::string* error) {
+  const std::size_t eol = payload.find('\n');
+  if (eol == std::string::npos ||
+      std::sscanf(payload.c_str(), "shard %llu",
+                  reinterpret_cast<unsigned long long*>(shard_id)) != 1) {
+    if (error != nullptr) *error = "bad shard id line";
+    return std::nullopt;
+  }
+  return core::parse_checkpoint(payload.substr(eol + 1), expected_fingerprint,
+                                error);
+}
+
+std::string serialize_escape(const core::EscapedAlt& escape,
+                             const std::string& fingerprint) {
+  return core::serialize_checkpoint(
+      core::make_escape_shard(escape, fingerprint));
+}
+
+std::optional<core::EscapedAlt> parse_escape(
+    const std::string& payload, const std::string& expected_fingerprint,
+    std::string* error) {
+  auto cp = core::parse_checkpoint(payload, expected_fingerprint, error);
+  if (!cp.has_value()) return std::nullopt;
+  if (cp->frames.empty() || cp->frames.back().untried.size() != 1) {
+    if (error != nullptr) *error = "not a one-alternative escape shard";
+    return std::nullopt;
+  }
+  core::EscapedAlt escape;
+  escape.src = cp->frames.back().untried.front();
+  escape.frames = std::move(cp->frames);
+  return escape;
+}
+
+std::string serialize_worker_result(const WorkerResult& result,
+                                    const std::string& fingerprint) {
+  const core::ExploreResult& r = result.result;
+  std::string out = kResultHeader;
+  out += strfmt("\nshard %llu\n",
+                static_cast<unsigned long long>(result.shard_id));
+  out += strfmt("flags %d %d %d\n", r.interleaving_budget_exhausted ? 1 : 0,
+                r.time_budget_exhausted ? 1 : 0, r.interrupted ? 1 : 0);
+  out += strfmt("vtime %.17g\n", r.total_vtime_us);
+  out += strfmt("wall %.17g\n", r.total_wall_seconds);
+  out += strfmt("ckwrites %llu\n",
+                static_cast<unsigned long long>(r.checkpoint_writes));
+  out += strfmt("pool %d %llu %llu %llu %llu %zu %zu\n", r.pool.jobs,
+                static_cast<unsigned long long>(r.pool.inline_runs),
+                static_cast<unsigned long long>(r.pool.worker_runs),
+                static_cast<unsigned long long>(r.pool.speculative_hits),
+                static_cast<unsigned long long>(r.pool.speculative_waste),
+                r.pool.max_in_flight, r.pool.max_queue_depth);
+  for (const core::EscapedAlt& escape : r.escaped) {
+    // An escape travels as the candidate shard it would become — a full
+    // checkpoint — because its site identity is the frame prefix in
+    // force at escape time, not anything the coordinator could
+    // reconstruct from the shard it originally assigned.
+    const std::string text = core::serialize_checkpoint(
+        core::make_escape_shard(escape, fingerprint));
+    out += strfmt("escape %zu\n", text.size());
+    out += text;
+  }
+  {
+    std::istringstream metrics(result.metrics_dump);
+    std::string line;
+    while (std::getline(metrics, line)) {
+      if (!line.empty()) out += "metric " + line + '\n';
+    }
+  }
+  // The counters, bugs, and alerts ride in an embedded checkpoint so the
+  // wire format reuses the journal grammar instead of duplicating it.
+  core::Checkpoint cp;
+  cp.fingerprint = fingerprint;
+  cp.interleavings = r.interleavings;
+  cp.retries = r.retries;
+  cp.timeouts = r.timeouts;
+  cp.quarantined = r.quarantined;
+  cp.divergences = r.divergences;
+  cp.prefix_mismatches = r.prefix_mismatches;
+  cp.bugs = r.bugs;
+  cp.unsafe_alerts = r.unsafe_alerts;
+  const std::string inner = core::serialize_checkpoint(cp);
+  out += strfmt("ckpt %zu\n", inner.size());
+  out += inner;
+  out += "end\n";
+  return out;
+}
+
+std::optional<WorkerResult> parse_worker_result(
+    const std::string& payload, const std::string& expected_fingerprint,
+    std::string* error) {
+  auto fail = [error](std::string message) -> std::optional<WorkerResult> {
+    if (error != nullptr) *error = std::move(message);
+    return std::nullopt;
+  };
+
+  WorkerResult wr;
+  core::ExploreResult& r = wr.result;
+  std::size_t pos = 0;
+  bool saw_header = false;
+  bool saw_end = false;
+  bool saw_ckpt = false;
+  while (pos < payload.size()) {
+    std::size_t eol = payload.find('\n', pos);
+    if (eol == std::string::npos) eol = payload.size();
+    const std::string line = payload.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    if (!saw_header) {
+      if (line != kResultHeader) return fail("missing dist-result header");
+      saw_header = true;
+      continue;
+    }
+    std::istringstream ls(line);
+    std::string keyword;
+    ls >> keyword;
+    if (keyword == "shard") {
+      if (!(ls >> wr.shard_id)) return fail("bad shard line");
+    } else if (keyword == "flags") {
+      int ib = 0, tb = 0, in = 0;
+      if (!(ls >> ib >> tb >> in)) return fail("bad flags line");
+      r.interleaving_budget_exhausted = ib != 0;
+      r.time_budget_exhausted = tb != 0;
+      r.interrupted = in != 0;
+    } else if (keyword == "vtime") {
+      if (!(ls >> r.total_vtime_us)) return fail("bad vtime line");
+    } else if (keyword == "wall") {
+      if (!(ls >> r.total_wall_seconds)) return fail("bad wall line");
+    } else if (keyword == "ckwrites") {
+      if (!(ls >> r.checkpoint_writes)) return fail("bad ckwrites line");
+    } else if (keyword == "pool") {
+      if (!(ls >> r.pool.jobs >> r.pool.inline_runs >> r.pool.worker_runs >>
+            r.pool.speculative_hits >> r.pool.speculative_waste >>
+            r.pool.max_in_flight >> r.pool.max_queue_depth)) {
+        return fail("bad pool line");
+      }
+    } else if (keyword == "escape") {
+      std::size_t nbytes = 0;
+      if (!(ls >> nbytes) || pos + nbytes > payload.size()) {
+        return fail("bad escape length");
+      }
+      std::string inner_err;
+      const auto cp = core::parse_checkpoint(payload.substr(pos, nbytes),
+                                             expected_fingerprint, &inner_err);
+      if (!cp.has_value() || cp->frames.empty() ||
+          cp->frames.back().untried.size() != 1) {
+        return fail("embedded escape: " +
+                    (inner_err.empty() ? "not a one-alternative shard"
+                                       : inner_err));
+      }
+      core::EscapedAlt escape;
+      escape.src = cp->frames.back().untried.front();
+      escape.frames = std::move(cp->frames);
+      r.escaped.push_back(std::move(escape));
+      pos += nbytes;
+    } else if (keyword == "metric") {
+      if (line.size() > keyword.size() + 1) {
+        wr.metrics_dump += line.substr(keyword.size() + 1);
+        wr.metrics_dump += '\n';
+      }
+    } else if (keyword == "ckpt") {
+      std::size_t nbytes = 0;
+      if (!(ls >> nbytes) || pos + nbytes > payload.size()) {
+        return fail("bad ckpt length");
+      }
+      std::string inner_err;
+      const auto cp = core::parse_checkpoint(payload.substr(pos, nbytes),
+                                             expected_fingerprint, &inner_err);
+      if (!cp.has_value()) return fail("embedded checkpoint: " + inner_err);
+      r.interleavings = cp->interleavings;
+      r.retries = cp->retries;
+      r.timeouts = cp->timeouts;
+      r.quarantined = cp->quarantined;
+      r.divergences = cp->divergences;
+      r.prefix_mismatches = cp->prefix_mismatches;
+      r.bugs = cp->bugs;
+      r.unsafe_alerts = cp->unsafe_alerts;
+      pos += nbytes;
+      saw_ckpt = true;
+    } else if (keyword == "end") {
+      saw_end = true;
+      break;
+    } else {
+      return fail("unknown dist-result keyword '" + keyword + "'");
+    }
+  }
+  if (!saw_header || !saw_ckpt || !saw_end) {
+    return fail("truncated dist-result payload");
+  }
+  return wr;
+}
+
+}  // namespace dampi::dist

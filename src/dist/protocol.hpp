@@ -1,0 +1,143 @@
+// Wire protocol between the campaign coordinator and its worker
+// processes (DESIGN.md §4.12).
+//
+// Transport: a connected AF_UNIX stream per worker — either one end of
+// a socketpair inherited across exec (`--coordinator-socket fd:N`, the
+// default when the coordinator spawns its own workers) or a filesystem
+// socket the coordinator listens on (`--coordinator-socket PATH`, which
+// also lets externally launched workers join a campaign).
+//
+// Framing: little machine-endian binary header {magic "DMP1", u16 type,
+// u32 payload length} followed by the payload. Payloads are the same
+// line-oriented, versioned text formats the rest of the tree uses —
+// shard payloads embed a checkpoint journal verbatim, result payloads
+// embed one by byte length — so every message is inspectable with
+// nothing fancier than cat.
+//
+// Conversation:
+//   worker     -> coordinator   HELLO   {worker id, options fingerprint}
+//   coordinator-> worker        SHARD   {shard id, checkpoint}
+//   worker     -> coordinator   RESULT  {shard id, counters, bugs,
+//                                        escapes, metrics, checkpoint}
+//   coordinator-> worker        STEAL   (carve off frontier work)
+//   worker     -> coordinator   STOLEN  {checkpoint} | NO_STEAL
+//   coordinator-> worker        CANCEL  (unwind the in-flight shard)
+//   coordinator-> worker        SHUTDOWN
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/checkpoint.hpp"
+#include "core/explorer.hpp"
+
+namespace dampi::dist {
+
+enum class MsgType : std::uint16_t {
+  kHello = 1,
+  kShard = 2,
+  kResult = 3,
+  kSteal = 4,
+  kStolen = 5,
+  kNoSteal = 6,
+  kCancel = 7,
+  kShutdown = 8,
+  /// Worker -> coordinator, sent eagerly the moment an alternative is
+  /// escaped (before the revealing run can reach the worker's journal),
+  /// so a worker death never strands an escape. Payload: the candidate
+  /// shard checkpoint (see serialize_escape).
+  kEscape = 9,
+};
+
+struct WireMessage {
+  MsgType type = MsgType::kHello;
+  std::string payload;
+};
+
+/// Buffered, framed message stream over a connected fd. Not thread-safe;
+/// each endpoint owns its channel on one thread.
+class MessageChannel {
+ public:
+  enum class RecvStatus { kMessage, kWouldBlock, kClosed };
+
+  MessageChannel() = default;
+  explicit MessageChannel(int fd) : fd_(fd) {}
+  ~MessageChannel() { close(); }
+  MessageChannel(const MessageChannel&) = delete;
+  MessageChannel& operator=(const MessageChannel&) = delete;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void close();
+
+  /// Writes the whole frame (retrying short writes). False on error —
+  /// typically EPIPE from a dead peer.
+  bool send(MsgType type, std::string_view payload);
+
+  /// timeout_ms < 0 blocks until a full message or EOF; 0 polls;
+  /// > 0 waits at most that long. kWouldBlock means "no complete frame
+  /// yet", kClosed means EOF or a framing/IO error (channel unusable).
+  RecvStatus recv(WireMessage* out, int timeout_ms);
+
+ private:
+  int fd_ = -1;
+  std::string rx_;
+};
+
+/// "fd:N" (inherited descriptor) or a filesystem path to connect() to.
+/// Returns -1 and sets `error` on failure; path connects are retried
+/// briefly so a worker can win the race with the coordinator's bind.
+int connect_socket(const std::string& spec, std::string* error);
+
+/// Bound + listening AF_UNIX socket at `path` (stale file replaced).
+int listen_socket(const std::string& path, std::string* error);
+
+// --- Payload formats -------------------------------------------------------
+
+struct Hello {
+  int worker_id = -1;
+  /// options_fingerprint() — single-line by construction, same as the
+  /// checkpoint format's `options` line.
+  std::string fingerprint;
+};
+
+std::string serialize_hello(const Hello& hello);
+std::optional<Hello> parse_hello(const std::string& payload,
+                                 std::string* error);
+
+/// SHARD / STOLEN payload: a shard id line plus a checkpoint journal.
+std::string serialize_shard(std::uint64_t shard_id,
+                            const std::string& checkpoint_text);
+std::optional<core::Checkpoint> parse_shard(
+    const std::string& payload, const std::string& expected_fingerprint,
+    std::uint64_t* shard_id, std::string* error);
+
+/// ESCAPE payload: the escaped alternative packaged as the candidate
+/// shard it would become (make_escape_shard), because its site identity
+/// is the frame prefix in force at escape time — nothing the coordinator
+/// could reconstruct from the shard it originally assigned.
+std::string serialize_escape(const core::EscapedAlt& escape,
+                             const std::string& fingerprint);
+std::optional<core::EscapedAlt> parse_escape(
+    const std::string& payload, const std::string& expected_fingerprint,
+    std::string* error);
+
+/// Everything one shard walk sends home. `result` carries the subset of
+/// ExploreResult a merge consumes (counts, bugs, alerts, escapes, pool
+/// counters, partial-coverage flags); discovery-run statistics stay
+/// zero — only the coordinator executed a discovery run.
+struct WorkerResult {
+  std::uint64_t shard_id = 0;
+  core::ExploreResult result;
+  std::string metrics_dump;  ///< obs registry increment for this shard
+};
+
+std::string serialize_worker_result(const WorkerResult& result,
+                                    const std::string& fingerprint);
+std::optional<WorkerResult> parse_worker_result(
+    const std::string& payload, const std::string& expected_fingerprint,
+    std::string* error);
+
+}  // namespace dampi::dist

@@ -1,0 +1,33 @@
+// Worker side of a distributed campaign: connect to the coordinator,
+// introduce ourselves (worker id + options fingerprint), then loop —
+// resume each assigned shard checkpoint with the ordinary Explorer,
+// serving steal requests between runs, and ship the walk's result
+// (counters, bugs, escapes, metrics increment) home. The worker
+// journals to `<checkpoint>.w<id>` so concurrent workers never race on
+// one tmp+rename path, and so the coordinator can requeue a dead
+// worker's shard from its last flushed frontier.
+#pragma once
+
+#include <string>
+
+#include "core/options.hpp"
+#include "mpism/runtime.hpp"
+
+namespace dampi::dist {
+
+struct WorkerConfig {
+  /// --coordinator-socket value: "fd:N" or a filesystem path.
+  std::string socket_spec;
+  int worker_id = 0;
+  /// Search options, identical (same fingerprint) to the coordinator's.
+  /// checkpoint_path is the campaign's base path; the worker derives its
+  /// private `<path>.w<id>` journal from it. resume_from / discovery /
+  /// steal hooks are overwritten per shard.
+  core::ExplorerOptions options;
+};
+
+/// Blocks until the coordinator sends SHUTDOWN (returns 0) or the
+/// connection/protocol fails (returns nonzero).
+int run_worker(const WorkerConfig& config, const mpism::ProgramFn& program);
+
+}  // namespace dampi::dist

@@ -90,6 +90,13 @@ class Registry {
   /// Zero every instrument (references stay valid).
   void reset();
 
+  /// Import another process's dump() into this registry: every counter
+  /// line (`name value`) is added both under `<prefix>.<name>` — the
+  /// per-worker namespace, so concurrent workers' counters never
+  /// collide — and into a `dist.<name>` campaign aggregate. Gauge and
+  /// histogram lines are not single integers and are skipped.
+  void merge_dump(const std::string& dump, const std::string& prefix);
+
  private:
   Registry() = default;
 

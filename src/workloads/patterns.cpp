@@ -172,6 +172,24 @@ void fan_in_rounds(Proc& p, int rounds) {
   }
 }
 
+void dist_fanout(Proc& p, int rounds, double spin_us) {
+  DAMPI_CHECK(p.size() >= 2);
+  if (p.rank() == 0) {
+    p.barrier();
+    for (int r = 0; r < rounds; ++r) {
+      for (int i = 1; i < p.size(); ++i) {
+        p.recv(kAnySource, /*tag=*/r);
+        p.compute(spin_us);
+      }
+    }
+  } else {
+    for (int r = 0; r < rounds; ++r) {
+      p.send(0, /*tag=*/r, pack<int>(p.rank() * 1000 + r));
+    }
+    p.barrier();
+  }
+}
+
 void livelock(Proc& p) {
   DAMPI_CHECK(p.size() >= 2);
   if (p.rank() == 0) {

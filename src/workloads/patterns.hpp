@@ -52,6 +52,13 @@ void leaky_program(mpism::Proc& p);
 /// assertions (bounded mixing, k=0 formula).
 void fan_in_rounds(mpism::Proc& p, int rounds);
 
+/// Distributed-campaign fixture: fan_in_rounds plus `spin_us` of
+/// busy-work at the root per received message. The wildcard fan-in
+/// gives the campaign a wide, deterministic frontier to shard while the
+/// compute makes each interleaving cost real virtual time, so worker
+/// scaling (and mid-shard kills) are observable instead of instant.
+void dist_fanout(mpism::Proc& p, int rounds, double spin_us);
+
 /// 2+ ranks, never terminates: rank 0 blocks on a receive nobody
 /// satisfies while rank 1 spins on iprobe for a message nobody sends,
 /// burning virtual time each poll. The live spinner defeats the

@@ -1,0 +1,496 @@
+// Distributed sharding tests: a sharded campaign driven entirely
+// in-process (discovery -> split_frontier -> per-shard walks -> escape
+// routing -> CampaignMerge) must reproduce the single-process walk's
+// interleaving set exactly — same count, same schedule multiset, same
+// bugs — for every shard width, scheduler, and matcher. Plus the
+// supporting machinery: work-steal carving, journal requeue after a
+// mid-shard cancel, escape_alts checkpoint round-trips, and the wire
+// protocol over a real socketpair.
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/checkpoint.hpp"
+#include "core/decision_io.hpp"
+#include "core/explorer.hpp"
+#include "core/shard.hpp"
+#include "dist/protocol.hpp"
+#include "mpism/cancel.hpp"
+#include "support/verify_helpers.hpp"
+#include "workloads/patterns.hpp"
+
+namespace dampi::test {
+namespace {
+
+using core::CampaignMerge;
+using core::Checkpoint;
+using core::EscapedAlt;
+using core::ExploreResult;
+using core::Explorer;
+using core::ExplorerOptions;
+using core::Schedule;
+
+mpism::ProgramFn fan_in(int rounds) {
+  return [rounds](mpism::Proc& p) { workloads::fan_in_rounds(p, rounds); };
+}
+
+/// Multiset of serialized schedules — one entry per interleaving, the
+/// exact identity of "which runs did this walk perform".
+using ScheduleBag = std::multiset<std::string>;
+
+ScheduleBag::value_type bag_key(const Schedule& schedule) {
+  return core::serialize_schedule(schedule);
+}
+
+std::set<std::string> bug_keys(const std::vector<core::BugRecord>& bugs) {
+  std::set<std::string> keys;
+  for (const auto& bug : bugs) keys.insert(core::bug_key(bug));
+  return keys;
+}
+
+/// Drives a whole sharded campaign on the calling thread: exactly the
+/// coordinator's shard/escape loop, minus the processes. Returns the
+/// merged result and appends every run's schedule to `bag`.
+ExploreResult run_sharded_campaign(const ExplorerOptions& base,
+                                   const mpism::ProgramFn& program,
+                                   std::size_t max_shards,
+                                   ScheduleBag* bag) {
+  ExplorerOptions disc = base;
+  disc.discovery_only = true;
+  ExploreResult discovered = Explorer(disc).explore(
+      program, [&](const core::RunTrace&, const mpism::RunReport&,
+                   const Schedule& s) { bag->insert(bag_key(s)); });
+
+  const std::string fingerprint = core::options_fingerprint(base);
+  Checkpoint root;
+  root.fingerprint = fingerprint;
+  root.frames = discovered.frontier;
+
+  CampaignMerge merge(std::move(discovered));
+  std::deque<Checkpoint> queue;
+  for (Checkpoint& cp : core::split_frontier(root, max_shards)) {
+    merge.register_shard_sites(cp);
+    queue.push_back(std::move(cp));
+  }
+
+  while (!queue.empty()) {
+    Checkpoint shard = std::move(queue.front());
+    queue.pop_front();
+    std::vector<EscapedAlt> escapes;
+    ExplorerOptions options = base;
+    options.resume_from = std::make_shared<const Checkpoint>(std::move(shard));
+    options.on_escape = [&](const EscapedAlt& e) { escapes.push_back(e); };
+    ExploreResult result = Explorer(options).explore(
+        program, [&](const core::RunTrace&, const mpism::RunReport&,
+                     const Schedule& s) { bag->insert(bag_key(s)); });
+    merge.add(result);
+    for (const EscapedAlt& e : escapes) {
+      if (!merge.escape_is_new(e)) continue;
+      Checkpoint next = core::make_escape_shard(e, fingerprint);
+      merge.register_shard_sites(next);
+      queue.push_back(std::move(next));
+    }
+  }
+  return merge.finish();
+}
+
+// --- Sharded == unsharded, across widths, schedulers, matchers -------------
+
+class ShardEquivalence
+    : public ::testing::TestWithParam<
+          std::tuple<std::size_t, mpism::SchedulerKind, mpism::MatchKind>> {};
+
+TEST_P(ShardEquivalence, CampaignMatchesSingleWalk) {
+  const auto [shards, sched, match] = GetParam();
+  ExplorerOptions options = explorer_options(4);
+  options.sched.kind = sched;
+  options.match = match;
+
+  ScheduleBag single_bag;
+  ExploreResult single = Explorer(options).explore(
+      fan_in(2), [&](const core::RunTrace&, const mpism::RunReport&,
+                     const Schedule& s) { single_bag.insert(bag_key(s)); });
+
+  ScheduleBag campaign_bag;
+  ExploreResult campaign =
+      run_sharded_campaign(options, fan_in(2), shards, &campaign_bag);
+
+  // The campaign must have walked the same interleavings, not merely the
+  // same number of them: every run is identified by its forced schedule.
+  EXPECT_EQ(campaign.interleavings, single.interleavings);
+  EXPECT_EQ(campaign_bag, single_bag);
+  EXPECT_EQ(bug_keys(campaign.bugs), bug_keys(single.bugs));
+  EXPECT_GT(single.interleavings, 1u);  // the fixture must actually branch
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Widths, ShardEquivalence,
+    ::testing::Combine(::testing::Values(std::size_t{2}, std::size_t{4},
+                                         std::size_t{8}),
+                       ::testing::Values(mpism::SchedulerKind::kThread,
+                                         mpism::SchedulerKind::kCoop),
+                       ::testing::Values(mpism::MatchKind::kLinear,
+                                         mpism::MatchKind::kIndexed)));
+
+// A buggy program: cross-shard bug dedup must leave exactly the bugs the
+// single walk reports (fig3's single failing interleaving).
+TEST(Dist, ShardedCampaignFindsAndDedupsBugs) {
+  ExplorerOptions options = explorer_options(3);
+  options.sched.kind = mpism::SchedulerKind::kCoop;
+
+  ScheduleBag single_bag;
+  ExploreResult single = Explorer(options).explore(
+      workloads::fig3_wildcard_bug,
+      [&](const core::RunTrace&, const mpism::RunReport&, const Schedule& s) {
+        single_bag.insert(bag_key(s));
+      });
+  ASSERT_TRUE(single.found_bug());
+
+  ScheduleBag campaign_bag;
+  ExploreResult campaign = run_sharded_campaign(
+      options, workloads::fig3_wildcard_bug, 4, &campaign_bag);
+  EXPECT_TRUE(campaign.found_bug());
+  EXPECT_EQ(campaign.interleavings, single.interleavings);
+  EXPECT_EQ(campaign_bag, single_bag);
+  EXPECT_EQ(bug_keys(campaign.bugs), bug_keys(single.bugs));
+}
+
+// --- Work stealing ---------------------------------------------------------
+
+// Carving half a shard's frontier mid-walk and exploring the stolen
+// checkpoint separately must cover exactly the un-stolen walk's set.
+TEST(Dist, StealSplitsWorkWithoutLossOrDuplication) {
+  ExplorerOptions options = explorer_options(4);
+  options.sched.kind = mpism::SchedulerKind::kCoop;
+
+  ScheduleBag baseline_bag;
+  ExploreResult baseline = Explorer(options).explore(
+      fan_in(2), [&](const core::RunTrace&, const mpism::RunReport&,
+                     const Schedule& s) { baseline_bag.insert(bag_key(s)); });
+  ASSERT_GT(baseline.interleavings, 4u);
+
+  // Discovery + a single shard holding the whole frontier.
+  ExplorerOptions disc = options;
+  disc.discovery_only = true;
+  ScheduleBag bag;
+  ExploreResult discovered = Explorer(disc).explore(
+      fan_in(2), [&](const core::RunTrace&, const mpism::RunReport&,
+                     const Schedule& s) { bag.insert(bag_key(s)); });
+  const std::string fingerprint = core::options_fingerprint(options);
+  Checkpoint root;
+  root.fingerprint = fingerprint;
+  root.frames = discovered.frontier;
+  auto shards = core::split_frontier(root, 1);
+  ASSERT_EQ(shards.size(), 1u);
+
+  CampaignMerge merge(std::move(discovered));
+  merge.register_shard_sites(shards[0]);
+
+  // Victim walk: after 2 runs, serve one steal request.
+  std::shared_ptr<const Checkpoint> stolen;
+  int runs = 0;
+  bool steal_pending = false;
+  std::vector<EscapedAlt> escapes;
+  ExplorerOptions victim = options;
+  victim.resume_from = std::make_shared<const Checkpoint>(shards[0]);
+  victim.steal_poll = [&] {
+    if (runs == 2 && stolen == nullptr && !steal_pending) {
+      steal_pending = true;
+      return true;
+    }
+    return false;
+  };
+  victim.on_steal = [&](std::shared_ptr<const Checkpoint> cp) {
+    stolen = std::move(cp);
+  };
+  victim.on_escape = [&](const EscapedAlt& e) { escapes.push_back(e); };
+  ExploreResult victim_result = Explorer(victim).explore(
+      fan_in(2), [&](const core::RunTrace&, const mpism::RunReport&,
+                     const Schedule& s) {
+        ++runs;
+        bag.insert(bag_key(s));
+      });
+  merge.add(victim_result);
+  ASSERT_NE(stolen, nullptr) << "the fixture is too small to steal from";
+
+  // Thief walk over the stolen checkpoint (plus any escaped work).
+  std::deque<Checkpoint> queue;
+  merge.register_shard_sites(*stolen);
+  queue.push_back(*stolen);
+  for (const EscapedAlt& e : escapes) {
+    if (merge.escape_is_new(e)) {
+      Checkpoint next = core::make_escape_shard(e, fingerprint);
+      merge.register_shard_sites(next);
+      queue.push_back(std::move(next));
+    }
+  }
+  while (!queue.empty()) {
+    Checkpoint shard = std::move(queue.front());
+    queue.pop_front();
+    std::vector<EscapedAlt> more;
+    ExplorerOptions thief = options;
+    thief.resume_from = std::make_shared<const Checkpoint>(std::move(shard));
+    thief.on_escape = [&](const EscapedAlt& e) { more.push_back(e); };
+    ExploreResult r = Explorer(thief).explore(
+        fan_in(2), [&](const core::RunTrace&, const mpism::RunReport&,
+                       const Schedule& s) { bag.insert(bag_key(s)); });
+    merge.add(r);
+    for (const EscapedAlt& e : more) {
+      if (merge.escape_is_new(e)) {
+        Checkpoint next = core::make_escape_shard(e, fingerprint);
+        merge.register_shard_sites(next);
+        queue.push_back(std::move(next));
+      }
+    }
+  }
+
+  ExploreResult merged = merge.finish();
+  EXPECT_EQ(merged.interleavings, baseline.interleavings);
+  EXPECT_EQ(bag, baseline_bag);
+}
+
+// --- Journal requeue after a mid-shard cancel ------------------------------
+
+// A shard cancelled mid-walk leaves a per-worker journal; requeueing
+// from it (the coordinator's death-recovery path) finishes the shard
+// with every interleaving counted exactly once.
+TEST(Dist, CancelledShardResumesFromJournalExactlyOnce) {
+  ExplorerOptions options = explorer_options(4);
+  options.sched.kind = mpism::SchedulerKind::kCoop;
+
+  ExploreResult baseline = Explorer(options).explore(fan_in(2));
+  ASSERT_GT(baseline.interleavings, 4u);
+
+  ExplorerOptions disc = options;
+  disc.discovery_only = true;
+  ExploreResult discovered = Explorer(disc).explore(fan_in(2));
+  const std::uint64_t discovery_runs = discovered.interleavings;
+  const std::string fingerprint = core::options_fingerprint(options);
+  Checkpoint root;
+  root.fingerprint = fingerprint;
+  root.frames = discovered.frontier;
+  auto shards = core::split_frontier(root, 1);
+  ASSERT_EQ(shards.size(), 1u);
+
+  const std::string journal =
+      ::testing::TempDir() + "/dist_requeue.ckpt.w7";
+  std::remove(journal.c_str());
+
+  // First attempt: cancel after 2 shard runs, journalling every run.
+  auto cancel = std::make_shared<mpism::CancelSource>();
+  ExplorerOptions attempt = options;
+  attempt.resume_from = std::make_shared<const Checkpoint>(shards[0]);
+  attempt.checkpoint_path = journal;
+  attempt.checkpoint_interval = 1;
+  attempt.cancel = cancel;
+  int runs = 0;
+  ExploreResult aborted = Explorer(attempt).explore(
+      fan_in(2), [&](const core::RunTrace&, const mpism::RunReport&,
+                     const Schedule&) {
+        if (++runs == 2) cancel->cancel("test: simulated worker death");
+      });
+  ASSERT_TRUE(aborted.interrupted);
+  ASSERT_LT(aborted.interleavings, baseline.interleavings);
+
+  // Requeue: reload the journal exactly as handle_death does and finish
+  // it. The journalled counters ride in (resumed walks fold them in),
+  // so the aborted attempt's partial result must NOT be merged.
+  std::string error;
+  auto requeued = core::load_checkpoint(journal, fingerprint, &error);
+  ASSERT_TRUE(requeued.has_value()) << error;
+  ExplorerOptions retry = options;
+  retry.resume_from =
+      std::make_shared<const Checkpoint>(std::move(*requeued));
+  ExploreResult finished = Explorer(retry).explore(fan_in(2));
+  EXPECT_FALSE(finished.interrupted);
+
+  EXPECT_EQ(discovery_runs + finished.interleavings, baseline.interleavings);
+  std::remove(journal.c_str());
+}
+
+// --- Checkpoint escape_alts round-trip -------------------------------------
+
+TEST(Dist, EscapeAltsFlagSurvivesCheckpointRoundTrip) {
+  Checkpoint cp;
+  cp.fingerprint = "fp";
+  cp.interleavings = 3;
+  core::DfsFrame owned;
+  owned.key = core::EpochKey{1, 0};
+  owned.taken_src = 2;
+  owned.seen = {0, 2};
+  owned.escape_alts = true;
+  core::DfsFrame local;
+  local.key = core::EpochKey{0, 1};
+  local.taken_src = 1;
+  local.untried = {3};
+  local.seen = {1, 3};
+  cp.frames = {owned, local};
+
+  std::string error;
+  auto parsed =
+      core::parse_checkpoint(core::serialize_checkpoint(cp), "fp", &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  ASSERT_EQ(parsed->frames.size(), 2u);
+  EXPECT_TRUE(parsed->frames[0].escape_alts);
+  EXPECT_FALSE(parsed->frames[1].escape_alts);
+  EXPECT_EQ(parsed->frames[0].seen, owned.seen);
+  EXPECT_EQ(parsed->frames[1].untried, local.untried);
+}
+
+// A shard built from an escape explores exactly the escaped source, and
+// the per-site seen set admits each (site, source) only once.
+TEST(Dist, EscapeShardAndSiteDedup) {
+  core::DfsFrame site;
+  site.key = core::EpochKey{2, 1};
+  site.taken_src = 0;
+  site.seen = {0, 1};
+  EscapedAlt escape;
+  escape.frames = {site};
+  escape.src = 3;
+
+  Checkpoint shard = core::make_escape_shard(escape, "fp");
+  ASSERT_EQ(shard.frames.size(), 1u);
+  EXPECT_TRUE(shard.frames[0].escape_alts);
+  EXPECT_EQ(shard.frames[0].untried, std::vector<mpism::Rank>{3});
+  EXPECT_EQ(shard.frames[0].seen.count(3), 1u);
+
+  CampaignMerge merge{ExploreResult{}};
+  EXPECT_TRUE(merge.escape_is_new(escape));
+  EXPECT_FALSE(merge.escape_is_new(escape));  // second arrival: dedup
+  // Same site, different source: new again.
+  EscapedAlt other = escape;
+  other.src = 4;
+  EXPECT_TRUE(merge.escape_is_new(other));
+  // register_shard_sites pre-poisons the seen set of a queued shard.
+  EscapedAlt third = escape;
+  third.src = 5;
+  Checkpoint queued = core::make_escape_shard(third, "fp");
+  CampaignMerge fresh{ExploreResult{}};
+  fresh.register_shard_sites(queued);
+  EXPECT_FALSE(fresh.escape_is_new(third));
+}
+
+// --- Wire protocol over a real socketpair ----------------------------------
+
+TEST(Dist, ProtocolRoundTripOverSocketpair) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  dist::MessageChannel a(fds[0]);
+  dist::MessageChannel b(fds[1]);
+
+  dist::Hello hello;
+  hello.worker_id = 5;
+  // Fingerprints are single-line by construction (options_fingerprint),
+  // same as the `options` line of the checkpoint format.
+  hello.fingerprint = "nprocs=4 clock=1 sched=coop";
+  ASSERT_TRUE(a.send(dist::MsgType::kHello, dist::serialize_hello(hello)));
+
+  dist::WireMessage msg;
+  ASSERT_EQ(b.recv(&msg, /*timeout_ms=*/1000),
+            dist::MessageChannel::RecvStatus::kMessage);
+  ASSERT_EQ(msg.type, dist::MsgType::kHello);
+  std::string error;
+  auto parsed_hello = dist::parse_hello(msg.payload, &error);
+  ASSERT_TRUE(parsed_hello.has_value()) << error;
+  EXPECT_EQ(parsed_hello->worker_id, 5);
+  EXPECT_EQ(parsed_hello->fingerprint, hello.fingerprint);
+
+  // A shard big enough to span several reads.
+  Checkpoint cp;
+  cp.fingerprint = "fp";
+  for (int i = 0; i < 2000; ++i) {
+    core::DfsFrame f;
+    f.key = core::EpochKey{i % 4, static_cast<std::uint64_t>(i)};
+    f.taken_src = i % 3;
+    f.untried = {(i + 1) % 3, (i + 2) % 3};
+    f.seen = {0, 1, 2};
+    f.escape_alts = (i % 2) == 0;
+    cp.frames.push_back(std::move(f));
+  }
+  const std::string text = core::serialize_checkpoint(cp);
+  ASSERT_TRUE(b.send(dist::MsgType::kShard, dist::serialize_shard(42, text)));
+
+  ASSERT_EQ(a.recv(&msg, 1000), dist::MessageChannel::RecvStatus::kMessage);
+  ASSERT_EQ(msg.type, dist::MsgType::kShard);
+  std::uint64_t shard_id = 0;
+  auto parsed_shard = dist::parse_shard(msg.payload, "fp", &shard_id, &error);
+  ASSERT_TRUE(parsed_shard.has_value()) << error;
+  EXPECT_EQ(shard_id, 42u);
+  ASSERT_EQ(parsed_shard->frames.size(), cp.frames.size());
+  EXPECT_TRUE(parsed_shard->frames[0].escape_alts);
+  EXPECT_FALSE(parsed_shard->frames[1].escape_alts);
+  EXPECT_EQ(parsed_shard->frames[1999].untried, cp.frames[1999].untried);
+
+  // Escape round-trip preserves the frame prefix and source.
+  core::DfsFrame site;
+  site.key = core::EpochKey{1, 7};
+  site.taken_src = 0;
+  site.seen = {0, 2};
+  EscapedAlt escape;
+  escape.frames = {site};
+  escape.src = 2;
+  ASSERT_TRUE(
+      a.send(dist::MsgType::kEscape, dist::serialize_escape(escape, "fp")));
+  ASSERT_EQ(b.recv(&msg, 1000), dist::MessageChannel::RecvStatus::kMessage);
+  auto parsed_escape = dist::parse_escape(msg.payload, "fp", &error);
+  ASSERT_TRUE(parsed_escape.has_value()) << error;
+  EXPECT_EQ(parsed_escape->src, 2);
+  ASSERT_EQ(parsed_escape->frames.size(), 1u);
+  EXPECT_EQ(parsed_escape->frames[0].key.rank, 1);
+  EXPECT_EQ(parsed_escape->frames[0].key.nd_index, 7u);
+
+  // Worker result round-trip: counters, a bug, metrics.
+  dist::WorkerResult wr;
+  wr.shard_id = 42;
+  wr.result.interleavings = 9;
+  wr.result.total_vtime_us = 123.5;
+  wr.result.retries = 1;
+  core::BugRecord bug;
+  bug.kind = core::BugRecord::Kind::kDeadlock;
+  bug.interleaving = 4;
+  bug.deadlock_detail = "all ranks blocked";
+  bug.schedule.forced[core::EpochKey{1, 0}] = 2;
+  wr.result.bugs.push_back(bug);
+  wr.metrics_dump = "engine.messages 17\npool.worker_runs 3\n";
+  ASSERT_TRUE(b.send(dist::MsgType::kResult,
+                     dist::serialize_worker_result(wr, "fp")));
+  ASSERT_EQ(a.recv(&msg, 1000), dist::MessageChannel::RecvStatus::kMessage);
+  auto parsed_result = dist::parse_worker_result(msg.payload, "fp", &error);
+  ASSERT_TRUE(parsed_result.has_value()) << error;
+  EXPECT_EQ(parsed_result->shard_id, 42u);
+  EXPECT_EQ(parsed_result->result.interleavings, 9u);
+  EXPECT_EQ(parsed_result->result.retries, 1u);
+  ASSERT_EQ(parsed_result->result.bugs.size(), 1u);
+  EXPECT_EQ(parsed_result->result.bugs[0].kind,
+            core::BugRecord::Kind::kDeadlock);
+  EXPECT_EQ(core::bug_key(parsed_result->result.bugs[0]),
+            core::bug_key(bug));
+  EXPECT_EQ(parsed_result->metrics_dump, wr.metrics_dump);
+
+  // EOF: closing one end turns the other into kClosed, after any
+  // buffered frames have been drained.
+  b.close();
+  EXPECT_EQ(a.recv(&msg, 1000), dist::MessageChannel::RecvStatus::kClosed);
+}
+
+TEST(Dist, ProtocolRejectsFingerprintMismatch) {
+  Checkpoint cp;
+  cp.fingerprint = "fp-a";
+  const std::string payload =
+      dist::serialize_shard(1, core::serialize_checkpoint(cp));
+  std::uint64_t id = 0;
+  std::string error;
+  EXPECT_FALSE(dist::parse_shard(payload, "fp-b", &id, &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace dampi::test
