@@ -241,7 +241,17 @@ DistResult run_distributed(const DistOptions& options,
     }
     if (w.assigned.has_value()) {
       auto it = shards.find(*w.assigned);
-      if (it != shards.end()) {
+      if (it == shards.end()) {
+        // Result already merged; nothing to recover.
+      } else if (cancel_broadcast) {
+        // Under cancel nothing will ever run this shard again — workers
+        // are not respawned and assign_work is a no-op — so requeueing
+        // it would leave the queue permanently non-empty and the event
+        // loop without an exit. Drop it the same way start_cancel
+        // dropped the queued-but-unassigned shards: coverage is partial
+        // and the budget/interrupted flags record that.
+        shards.erase(it);
+      } else {
         ShardState& st = it->second;
         ++st.deaths;
         // Prefer the dead worker's own journal: everything it already
@@ -486,9 +496,16 @@ DistResult run_distributed(const DistOptions& options,
     pid_t reaped_pid;
     while ((reaped_pid = ::waitpid(-1, &wstatus, WNOHANG)) > 0) {
       for (WorkerProc& w : workers) {
-        if (w.pid == reaped_pid) w.reaped = true;
+        if (w.pid != reaped_pid) continue;
+        w.reaped = true;
+        // A path-mode worker that dies before connecting (e.g. execvp
+        // failed) has no channel, so the EOF-based death detection can
+        // never see it. Account for it here so the slot is respawned
+        // and spawn_failures/max_spawn_failures still apply.
+        if (!w.chan) handle_death(w);
       }
     }
+    if (!out.error.empty()) break;
 
     assign_work();
     if (!out.error.empty()) break;

@@ -1,6 +1,7 @@
 #include "dist/protocol.hpp"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <sstream>
 
@@ -61,6 +62,13 @@ bool MessageChannel::send(MsgType type, std::string_view payload) {
 MessageChannel::RecvStatus MessageChannel::recv(WireMessage* out,
                                                 int timeout_ms) {
   if (fd_ < 0) return RecvStatus::kClosed;
+  // A positive timeout bounds the whole call, not each poll: partial
+  // reads and EINTR wake-ups spend the remaining budget, not a fresh one.
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point deadline{};
+  if (timeout_ms > 0) {
+    deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  }
   for (;;) {
     // A complete frame may already be buffered from a previous read.
     if (rx_.size() >= kHeaderBytes) {
@@ -84,11 +92,19 @@ MessageChannel::RecvStatus MessageChannel::recv(WireMessage* out,
       }
     }
 
+    int wait_ms = timeout_ms;
+    if (timeout_ms > 0) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            deadline - Clock::now())
+                            .count();
+      if (left <= 0) return RecvStatus::kWouldBlock;
+      wait_ms = static_cast<int>(left);
+    }
     struct pollfd pfd;
     pfd.fd = fd_;
     pfd.events = POLLIN;
     pfd.revents = 0;
-    const int pr = ::poll(&pfd, 1, timeout_ms);
+    const int pr = ::poll(&pfd, 1, wait_ms);
     if (pr < 0) {
       if (errno == EINTR) continue;
       close();
@@ -226,12 +242,13 @@ std::optional<core::Checkpoint> parse_shard(
     const std::string& payload, const std::string& expected_fingerprint,
     std::uint64_t* shard_id, std::string* error) {
   const std::size_t eol = payload.find('\n');
+  unsigned long long id = 0;
   if (eol == std::string::npos ||
-      std::sscanf(payload.c_str(), "shard %llu",
-                  reinterpret_cast<unsigned long long*>(shard_id)) != 1) {
+      std::sscanf(payload.c_str(), "shard %llu", &id) != 1) {
     if (error != nullptr) *error = "bad shard id line";
     return std::nullopt;
   }
+  *shard_id = id;
   return core::parse_checkpoint(payload.substr(eol + 1), expected_fingerprint,
                                 error);
 }

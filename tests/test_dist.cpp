@@ -10,11 +10,15 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <deque>
 #include <memory>
 #include <set>
 #include <string>
+#include <string_view>
+#include <thread>
 #include <tuple>
 #include <vector>
 
@@ -22,6 +26,7 @@
 #include "core/decision_io.hpp"
 #include "core/explorer.hpp"
 #include "core/shard.hpp"
+#include "dist/coordinator.hpp"
 #include "dist/protocol.hpp"
 #include "mpism/cancel.hpp"
 #include "support/verify_helpers.hpp"
@@ -492,5 +497,99 @@ TEST(Dist, ProtocolRejectsFingerprintMismatch) {
   EXPECT_FALSE(error.empty());
 }
 
+// --- Cancel with a SIGKILLed straggler terminates --------------------------
+
+// Regression: a worker that ignores CANCEL while holding an assigned
+// shard is SIGKILLed at the grace deadline. Its death must drop the
+// shard — under cancel nothing will ever run it again — not requeue it,
+// or the coordinator's exit condition (empty queue) never holds and the
+// grace period re-arms forever. The fake worker below is this binary
+// re-executed with --dampi-hang-worker: it completes HELLO (so it gets
+// a shard assigned) and then ignores every subsequent message.
+TEST(Dist, CancelWithSigkilledStragglerTerminates) {
+  ExplorerOptions options = explorer_options(4);
+  auto cancel = std::make_shared<mpism::CancelSource>();
+  options.cancel = cancel;
+
+  dist::DistOptions dopt;
+  dopt.workers = 2;
+  dopt.shutdown_grace_seconds = 0.2;
+  dopt.explorer = options;
+  dopt.worker_argv = {"/proc/self/exe", "--dampi-hang-worker",
+                      core::options_fingerprint(options)};
+
+  std::thread canceller([cancel] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    cancel->cancel("test: external cancel");
+  });
+  dist::DistResult result = dist::run_distributed(dopt, fan_in(2));
+  canceller.join();
+
+  EXPECT_TRUE(result.error.empty()) << result.error;
+  EXPECT_TRUE(result.exploration.interrupted);
+  EXPECT_EQ(result.stats.shards_requeued, 0u);
+  EXPECT_EQ(result.stats.shards_quarantined, 0u);
+}
+
+// Regression: in --dist-socket (path) mode a worker whose exec fails
+// dies before it ever connects, so it has no channel and the EOF-based
+// death detection never fires. The waitpid reap loop must route such
+// workers through handle_death so spawn-failure accounting aborts the
+// campaign instead of polling forever on a non-empty queue.
+TEST(Dist, PathModeSpawnFailureAborts) {
+  dist::DistOptions dopt;
+  dopt.workers = 1;
+  dopt.socket_path = ::testing::TempDir() + "/dampi_spawnfail.sock";
+  dopt.explorer = explorer_options(4);
+  dopt.worker_argv = {"/nonexistent-dampi-worker-binary"};
+
+  dist::DistResult result = dist::run_distributed(dopt, fan_in(2));
+  EXPECT_FALSE(result.error.empty());
+  EXPECT_NE(result.error.find("died before HELLO"), std::string::npos)
+      << result.error;
+}
+
 }  // namespace
+
+/// Fake worker body for CancelWithSigkilledStragglerTerminates: HELLO
+/// with the fingerprint passed as argv[2], then swallow every message
+/// (kShard, kCancel, kShutdown) until SIGKILL or channel EOF.
+int hang_worker_main(int argc, char** argv) {
+  std::string spec;
+  int worker_id = -1;
+  const std::string fingerprint = argc > 2 ? argv[2] : "";
+  for (int i = 3; i + 1 < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--worker-id") worker_id = std::atoi(argv[i + 1]);
+    if (arg == "--coordinator-socket") spec = argv[i + 1];
+  }
+  std::string error;
+  const int fd = dist::connect_socket(spec, &error);
+  if (fd < 0) return 1;
+  dist::MessageChannel chan(fd);
+  dist::Hello hello;
+  hello.worker_id = worker_id;
+  hello.fingerprint = fingerprint;
+  if (!chan.send(dist::MsgType::kHello, dist::serialize_hello(hello))) {
+    return 1;
+  }
+  for (;;) {
+    dist::WireMessage msg;
+    if (chan.recv(&msg, -1) == dist::MessageChannel::RecvStatus::kClosed) {
+      return 0;
+    }
+  }
+}
+
 }  // namespace dampi::test
+
+// Custom main (overrides gtest_main): a first argument of
+// --dampi-hang-worker turns this binary into the fake worker instead of
+// running the test suite.
+int main(int argc, char** argv) {
+  if (argc > 1 && std::string_view(argv[1]) == "--dampi-hang-worker") {
+    return dampi::test::hang_worker_main(argc, argv);
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}
