@@ -1,0 +1,198 @@
+// Engine-lock contention: global mutex vs destination-rank shards
+// under the thread-per-rank scheduler.
+//
+// The sharded engine's claim: when N OS threads hammer the engine at
+// once, one global mutex serializes every MPI call, while per-rank
+// shards let disjoint (caller, destination) pairs proceed in parallel.
+// Measured here as native-engine runs/second of an all-pairs churn
+// workload (every rank posts a receive from and sends to every other
+// rank each round — the worst realistic cross-shard traffic), plus the
+// engine.lock.* accounting each mode records: acquisitions, contended
+// acquisitions (futex-path fallbacks), and all-shard escalations.
+//
+// On a single-core host the two modes are expected to tie (there is no
+// parallelism to unlock); the honest flat curve still belongs in
+// BENCH_contention.json. On multi-core, sharded should pull ahead as
+// ranks grow, and the contended/acquired ratio is the direct evidence.
+//
+// Output: the table on stdout and BENCH_contention.json
+// (machine-readable, referenced by EXPERIMENTS.md; compare runs with
+// scripts/bench_compare.py --contention A.json B.json).
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "mpism/runtime.hpp"
+#include "obs/metrics.hpp"
+
+using namespace dampi;
+
+namespace {
+
+/// Every rank posts a receive from and sends to every other rank each
+/// round; sync sends are mixed in so the cross-shard rendezvous
+/// handshake is part of the measured path.
+void all_pairs_churn(mpism::Proc& p, int rounds) {
+  const int n = p.size();
+  for (int round = 0; round < rounds; ++round) {
+    std::vector<mpism::RequestId> recvs;
+    for (int peer = 0; peer < n; ++peer) {
+      if (peer == p.rank()) continue;
+      recvs.push_back(p.irecv(peer, mpism::kAnyTag));
+    }
+    std::vector<mpism::RequestId> sends;
+    for (int peer = 0; peer < n; ++peer) {
+      if (peer == p.rank()) continue;
+      mpism::Bytes payload(
+          static_cast<std::size_t>(8 + 8 * ((p.rank() + round) % 12)),
+          static_cast<std::byte>(round));
+      sends.push_back(((p.rank() + peer + round) % 4 == 0)
+                          ? p.issend(peer, round % 3, std::move(payload))
+                          : p.isend(peer, round % 3, std::move(payload)));
+    }
+    p.waitall(recvs);
+    p.waitall(sends);
+    if (round % 2 == 0) p.barrier();
+  }
+}
+
+struct Cell {
+  std::string lock;
+  int nprocs = 0;
+  int runs = 0;
+  double wall_seconds = 0.0;
+  double runs_per_sec = 0.0;
+  std::uint64_t lock_acquired = 0;
+  std::uint64_t lock_contended = 0;
+  std::uint64_t lock_all_shards = 0;
+  std::uint64_t inline_hits = 0;
+  std::uint64_t heap_spills = 0;
+};
+
+Cell measure(mpism::EngineLockKind lock, int nprocs, int runs, int rounds) {
+  auto& reg = obs::Registry::instance();
+  reg.reset();
+  mpism::RunOptions options;
+  options.nprocs = nprocs;
+  options.engine_lock = lock;
+  options.sched.kind = mpism::SchedulerKind::kThread;
+  const auto program = [rounds](mpism::Proc& p) {
+    all_pairs_churn(p, rounds);
+  };
+  bench::WallTimer timer;
+  for (int i = 0; i < runs; ++i) {
+    mpism::Runtime runtime(options);
+    const auto report = runtime.run(program);
+    if (!report.ok()) {
+      std::printf("UNEXPECTED FAILURE (%s, %d ranks): %s\n",
+                  mpism::engine_lock_spec(lock).c_str(), nprocs,
+                  report.deadlock_detail.c_str());
+      std::exit(1);
+    }
+  }
+  Cell cell;
+  cell.lock = mpism::engine_lock_spec(lock);
+  cell.nprocs = nprocs;
+  cell.runs = runs;
+  cell.wall_seconds = timer.seconds();
+  cell.runs_per_sec = runs / cell.wall_seconds;
+  cell.lock_acquired = reg.counter("engine.lock.acquired").value();
+  cell.lock_contended = reg.counter("engine.lock.contended").value();
+  cell.lock_all_shards = reg.counter("engine.lock.all_shards").value();
+  cell.inline_hits = reg.counter("engine.envelope.inline_hits").value();
+  cell.heap_spills = reg.counter("engine.envelope.heap_spills").value();
+  reg.reset();
+  return cell;
+}
+
+bool write_json(const char* path, const std::vector<Cell>& cells,
+                unsigned hw_threads) {
+  FILE* f = std::fopen(path, "w");
+  if (f == nullptr) return false;
+  std::fprintf(f,
+               "{\n  \"bench\": \"contention\",\n  \"workload\": "
+               "\"all-pairs churn\",\n  \"hw_threads\": %u,\n"
+               "  \"cells\": [\n",
+               hw_threads);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    std::fprintf(
+        f,
+        "    {\"lock\": \"%s\", \"nprocs\": %d, \"runs\": %d, "
+        "\"wall_seconds\": %.6f, \"runs_per_sec\": %.3f, "
+        "\"lock_acquired\": %llu, \"lock_contended\": %llu, "
+        "\"lock_all_shards\": %llu, \"inline_hits\": %llu, "
+        "\"heap_spills\": %llu}%s\n",
+        c.lock.c_str(), c.nprocs, c.runs, c.wall_seconds, c.runs_per_sec,
+        static_cast<unsigned long long>(c.lock_acquired),
+        static_cast<unsigned long long>(c.lock_contended),
+        static_cast<unsigned long long>(c.lock_all_shards),
+        static_cast<unsigned long long>(c.inline_hits),
+        static_cast<unsigned long long>(c.heap_spills),
+        i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "Engine-lock contention — global mutex vs destination-rank shards",
+      "per-rank lock shards let disjoint sender/receiver pairs make "
+      "progress in parallel where one global mutex serializes them");
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("hardware threads: %u%s\n\n", hw,
+              hw <= 1 ? "  (single core: expect a flat curve)" : "");
+
+  const std::vector<int> scales{2, 4, 8, 16};
+  const auto reps_for = [](int nprocs) {
+    const int reps = nprocs <= 4 ? 60 : nprocs <= 8 ? 30 : 12;
+    return bench::quick_mode() ? std::max(2, reps / 4) : reps;
+  };
+  const int rounds = bench::quick_mode() ? 4 : 8;
+
+  std::vector<Cell> cells;
+  for (const auto lock : {mpism::EngineLockKind::kGlobal,
+                          mpism::EngineLockKind::kSharded}) {
+    for (const int nprocs : scales) {
+      cells.push_back(measure(lock, nprocs, reps_for(nprocs), rounds));
+    }
+  }
+
+  TextTable table;
+  table.header({"lock", "ranks", "runs", "runs/sec", "acquired", "contended",
+                "all-shards", "inline", "spills"});
+  for (const Cell& c : cells) {
+    table.row({c.lock, std::to_string(c.nprocs), std::to_string(c.runs),
+               fmt_fixed(c.runs_per_sec, 1), std::to_string(c.lock_acquired),
+               std::to_string(c.lock_contended),
+               std::to_string(c.lock_all_shards),
+               std::to_string(c.inline_hits), std::to_string(c.heap_spills)});
+  }
+  std::printf("%s", table.str().c_str());
+
+  // Headline: sharded-over-global speedup at the largest scale.
+  const Cell* global_big = nullptr;
+  const Cell* sharded_big = nullptr;
+  for (const Cell& c : cells) {
+    if (c.nprocs != scales.back()) continue;
+    (c.lock == "global" ? global_big : sharded_big) = &c;
+  }
+  if (global_big != nullptr && sharded_big != nullptr) {
+    std::printf("\nsharded/global at %d ranks: %.2fx runs/sec\n",
+                scales.back(),
+                sharded_big->runs_per_sec / global_big->runs_per_sec);
+  }
+
+  if (write_json("BENCH_contention.json", cells, hw)) {
+    std::printf("wrote BENCH_contention.json\n");
+  }
+  return 0;
+}

@@ -110,6 +110,12 @@ int usage(const char* argv0) {
       "default)\n"
       "                         or linear (scan oracle; $DAMPI_MATCH when "
       "set)\n"
+      "  --engine-lock KIND     engine locking: sharded (per-rank shards, "
+      "default)\n"
+      "                         or global (single-mutex baseline; "
+      "$DAMPI_ENGINE_LOCK\n"
+      "                         when set); verdicts are identical across "
+      "modes\n"
       "  --isp                  use the centralized ISP baseline instead\n"
       "  --save-repro FILE      write the first bug's epoch-decisions "
       "file\n"
@@ -189,6 +195,7 @@ int main(int argc, char** argv) {
   int jobs = 1;
   mpism::SchedOptions sched = mpism::default_sched_options();
   mpism::MatchKind match = mpism::default_match_kind();
+  mpism::EngineLockKind engine_lock = mpism::default_engine_lock_kind();
   bool use_isp = false;
   std::string save_repro_path;
   std::string replay_path;
@@ -270,6 +277,13 @@ int main(int argc, char** argv) {
       if (v == nullptr) return usage(argv[0]);
       if (!mpism::parse_match_spec(v, &match)) {
         std::printf("unknown --match value: %s\n", v);
+        return usage(argv[0]);
+      }
+    } else if (arg == "--engine-lock") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      if (!mpism::parse_engine_lock_spec(v, &engine_lock)) {
+        std::printf("unknown --engine-lock value: %s\n", v);
         return usage(argv[0]);
       }
     } else if (arg == "--isp") {
@@ -394,6 +408,7 @@ int main(int argc, char** argv) {
   explorer_options.jobs = jobs;
   explorer_options.sched = sched;
   explorer_options.match = match;
+  explorer_options.engine_lock = engine_lock;
   explorer_options.run_deadline_seconds = run_deadline_seconds;
   explorer_options.max_run_ops = run_max_ops;
   if (max_wall_seconds > 0.0) {
@@ -525,6 +540,7 @@ int main(int argc, char** argv) {
       native.policy_seed = explorer_options.policy_seed;
       native.sched = explorer_options.sched;
       native.match = explorer_options.match;
+      native.engine_lock = explorer_options.engine_lock;
       native.max_run_wall_seconds = explorer_options.run_deadline_seconds;
       native.max_run_vtime_us = explorer_options.max_run_vtime_us;
       native.max_ops = explorer_options.max_run_ops;
@@ -588,9 +604,10 @@ int main(int argc, char** argv) {
   stop_bridge();
 
   std::printf("program                : %s (%d ranks, %s, sched %s, match "
-              "%s)\n",
+              "%s, lock %s)\n",
               name.c_str(), procs, use_isp ? "ISP baseline" : "DAMPI",
-              mpism::sched_spec(sched).c_str(), mpism::match_spec(match));
+              mpism::sched_spec(sched).c_str(), mpism::match_spec(match),
+              mpism::engine_lock_spec(engine_lock).c_str());
   if (distributed) {
     std::printf(
         "distributed campaign   : %d workers (%d spawned), %llu shards "

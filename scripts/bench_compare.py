@@ -13,9 +13,17 @@ every worker count must report identical interleavings, exit code, and
 verdict. Speedup is reported but never failed on — a 1-core host has a
 legitimately flat curve (the JSON records nproc for exactly this reason).
 
+With --contention PATH it reads the BENCH_contention.json that
+bench_contention emits and compares the sharded engine lock against the
+global-mutex baseline per rank count. On a single-hardware-thread host
+the comparison is report-only (no parallelism to unlock — a flat or
+slightly worse curve is the honest result); on multi-core, sharded
+losing to global beyond the tolerance is flagged as a regression.
+
 Usage:
   scripts/bench_compare.py [--bench PATH] [--tolerance FRAC] [--warn-only]
   scripts/bench_compare.py --distributed BENCH_distributed.json [--warn-only]
+  scripts/bench_compare.py --contention BENCH_contention.json [--warn-only]
 
 Exit codes: 0 ok (or --warn-only), 1 regression, 2 cannot run bench.
 """
@@ -95,12 +103,67 @@ def check_distributed(path, warn_only):
             print("bench_compare: 1-core host — flat scaling curve expected")
 
 
+def check_contention(path, tolerance, warn_only):
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, ValueError) as err:
+        print(f"bench_compare: cannot read {path} ({err})", file=sys.stderr)
+        sys.exit(2)
+
+    cells = data.get("cells", [])
+    by_scale = {}
+    for cell in cells:
+        by_scale.setdefault(cell["nprocs"], {})[cell["lock"]] = cell
+    scales = sorted(n for n, pair in by_scale.items()
+                    if "global" in pair and "sharded" in pair)
+    if not scales:
+        print("bench_compare: no comparable global/sharded cell pairs",
+              file=sys.stderr)
+        sys.exit(2)
+
+    hw = data.get("hw_threads", 0)
+    print(f"{'ranks':>6} {'global r/s':>12} {'sharded r/s':>12} "
+          f"{'speedup':>8} {'contended %':>12}  (hw threads: {hw})")
+    regressions = []
+    for n in scales:
+        g = by_scale[n]["global"]
+        s = by_scale[n]["sharded"]
+        speedup = s["runs_per_sec"] / g["runs_per_sec"]
+        contended_pct = (100.0 * s["lock_contended"] / s["lock_acquired"]
+                         if s["lock_acquired"] else 0.0)
+        flag = ""
+        if hw > 1 and speedup < 1.0 - tolerance:
+            regressions.append((n, speedup))
+            flag = "  <-- REGRESSION"
+        print(f"{n:>6} {g['runs_per_sec']:>12.1f} {s['runs_per_sec']:>12.1f} "
+              f"{speedup:>7.2f}x {contended_pct:>11.1f}%{flag}")
+
+    if hw <= 1:
+        print("bench_compare: 1-hw-thread host — report-only, a flat "
+              "curve is expected")
+    if regressions:
+        print(f"bench_compare: sharded lock slower than the global baseline "
+              f"at rank counts {[n for n, _ in regressions]} "
+              f"(tolerance {tolerance:.0%})", file=sys.stderr)
+        if not warn_only:
+            sys.exit(1)
+        print("bench_compare: --warn-only set, not failing", file=sys.stderr)
+    elif hw > 1:
+        print("bench_compare: sharded lock holds up at every rank count")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--distributed",
         metavar="JSON",
         help="check a BENCH_distributed.json instead of the matcher bench",
+    )
+    parser.add_argument(
+        "--contention",
+        metavar="JSON",
+        help="check a BENCH_contention.json instead of the matcher bench",
     )
     parser.add_argument(
         "--bench",
@@ -122,6 +185,10 @@ def main():
 
     if args.distributed:
         check_distributed(args.distributed, args.warn_only)
+        return
+
+    if args.contention:
+        check_contention(args.contention, args.tolerance, args.warn_only)
         return
 
     if not os.path.exists(args.bench):

@@ -3,15 +3,17 @@
 # thread-per-rank scheduler, once with DAMPI_SCHED=coop so every test
 # also runs on the cooperative fiber scheduler, once with
 # DAMPI_MATCH=linear so every test also runs on the linear matching
-# oracle), the resilience stage (resil-labelled tests, the verify_cli
+# oracle, once with DAMPI_ENGINE_LOCK=global so every test also runs on
+# the single-mutex engine baseline), the resilience stage (resil-labelled tests, the verify_cli
 # exit-code contract, a livelock watchdog sweep across schedulers and
 # jobs widths, and a SIGINT kill + --resume determinism smoke), a trace
 # smoke test (a real workload exported with --trace
 # must validate under trace_check), a DAMPI_TRACE=OFF configure+build
 # check, a warn-only matcher perf smoke (bench_compare.py), then the
 # concurrent explorer tests again under ThreadSanitizer
-# (-DDAMPI_SANITIZE=thread; only the `concurrency`/`obs`/`match`
-# labelled tests rerun there, so the TSan stage stays fast; coop fibers
+# (-DDAMPI_SANITIZE=thread; only the
+# `concurrency`/`obs`/`match`/`enginelock` labelled tests rerun there,
+# so the TSan stage stays fast; coop fibers
 # are unsupported under TSan and fall back to the thread scheduler,
 # which is exactly the path TSan can check).
 #
@@ -37,6 +39,13 @@ echo "tier1: coop-scheduler sweep OK"
 # up as a suite difference here.
 (cd build && DAMPI_MATCH=linear ctest --output-on-failure -j "${jobs}")
 echo "tier1: linear-matcher sweep OK"
+
+# And with the global-mutex engine baseline: DAMPI_ENGINE_LOCK swaps the
+# default engine concurrency control, so every test not pinning a lock
+# mode reruns on the pre-sharding single-mutex path. Verdicts are
+# identical across modes by contract.
+(cd build && DAMPI_ENGINE_LOCK=global ctest --output-on-failure -j "${jobs}")
+echo "tier1: global-engine-lock sweep OK"
 
 # Resilience tests on their own label, so the stage shows up by name in
 # the log even though the default sweep above already ran them.
@@ -200,6 +209,16 @@ else
   echo "tier1: python3 unavailable, skipping matcher perf smoke"
 fi
 
+# Lock-contention smoke: global mutex vs sharded engine lock. Warn-only
+# for the same reason — and on a 1-core host the sharded curve is
+# legitimately flat (the JSON records hw_threads for exactly that).
+(cd build/bench && DAMPI_BENCH_QUICK=1 ./bench_contention > /dev/null)
+if command -v python3 > /dev/null 2>&1; then
+  python3 scripts/bench_compare.py \
+    --contention build/bench/BENCH_contention.json --warn-only
+fi
+echo "tier1: lock-contention smoke OK"
+
 # Distributed scaling smoke: the bench itself fails on any cross-width
 # divergence; the compare step re-checks the JSON (warn-only for the
 # speedup column — scaling is conditional on cores, equivalence is not).
@@ -218,7 +237,7 @@ fi
 
 cmake -B build-tsan -S . -DDAMPI_SANITIZE=thread
 cmake --build build-tsan -j "${jobs}" \
-  --target test_explorer_parallel test_obs test_match_index
-(cd build-tsan && ctest --output-on-failure -L 'concurrency|obs|match' \
-  -j "${jobs}")
-echo "tier1: OK (including TSan concurrency + obs + match stage)"
+  --target test_explorer_parallel test_obs test_match_index test_engine_lock
+(cd build-tsan && ctest --output-on-failure \
+  -L 'concurrency|obs|match|enginelock' -j "${jobs}")
+echo "tier1: OK (including TSan concurrency + obs + match + enginelock stage)"

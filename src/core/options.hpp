@@ -114,6 +114,12 @@ struct ExplorerOptions {
   /// DAMPI_MATCH.
   mpism::MatchKind match = mpism::default_match_kind();
 
+  /// Engine concurrency control for every run: per-destination-rank lock
+  /// shards (default) or the single global mutex kept as the
+  /// differential baseline; verdicts and fingerprints are identical
+  /// across modes. Honors DAMPI_ENGINE_LOCK.
+  mpism::EngineLockKind engine_lock = mpism::default_engine_lock_kind();
+
   /// Search budget.
   std::uint64_t max_interleavings = 1u << 20;
   double max_wall_seconds = 1e9;

@@ -130,6 +130,18 @@ int run_worker(const WorkerConfig& config, const mpism::ProgramFn& program) {
 
         while (pending_steals-- > 0) channel.send(MsgType::kNoSteal, "");
 
+        // Per-shard throughput, from the walk's own run-span timings
+        // (sum of replay wall times, not the worker's idle time waiting
+        // for shards). merge_dump surfaces it as dist.shard_run_rate
+        // (campaign-total runs/sec) and w<id>.shard_run_rate per worker.
+        if (walk.total_wall_seconds > 0.0) {
+          obs::Registry::instance()
+              .counter("shard_run_rate")
+              .add(static_cast<std::uint64_t>(
+                  static_cast<double>(walk.interleavings) /
+                  walk.total_wall_seconds));
+        }
+
         WorkerResult result;
         result.shard_id = shard_id;
         result.result = std::move(walk);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <map>
 
 #include "common/check.hpp"
@@ -97,7 +98,8 @@ class ToolCtxImpl final : public ToolCtx {
 // Construction / run loop
 // ---------------------------------------------------------------------------
 
-Engine::Engine(RunOptions options) : opts_(std::move(options)) {
+Engine::Engine(RunOptions options)
+    : opts_(std::move(options)), lock_(opts_.engine_lock, opts_.nprocs) {
   DAMPI_CHECK(opts_.nprocs > 0);
   ranks_.reserve(static_cast<std::size_t>(opts_.nprocs));
   for (int i = 0; i < opts_.nprocs; ++i) {
@@ -135,37 +137,44 @@ RunReport Engine::run(const ProgramFn& program) {
     const PerRank& p = pr(r);
     return p.block_pred && p.block_pred();
   };
-  cb.stop = [this] { return aborted_ || deadlocked_; };
-  cb.on_stall = [this] { declare_deadlock_locked(); };
+  cb.stop = [this] { return stopped(); };
+  cb.on_stall = [this] {
+    // Coop stall: every fiber is parked (none holds a shard), so the
+    // all-shards section is uncontended; the verdict mutex arbitrates
+    // against a concurrent external cancel.
+    EngineGuard all(lock_, EngineGuard::kAllShards);
+    declare_deadlock(all);
+  };
   if (has_wall_deadline_) {
     cb.deadline = run_deadline_;
     cb.on_deadline = [this] {
-      declare_timeout_locked(strfmt("run wall deadline exceeded (%.3f s)",
-                                    opts_.max_run_wall_seconds));
+      declare_timeout(strfmt("run wall deadline exceeded (%.3f s)",
+                             opts_.max_run_wall_seconds));
     };
   }
-  sched_->run(mu_, cb);
+  sched_->run(cb);
   if (opts_.cancel) opts_.cancel->unsubscribe(cancel_sub);
 
   RunReport report;
-  report.completed = !aborted_ && !deadlocked_;
-  report.deadlocked = deadlocked_;
+  report.completed = !stopped();
+  report.deadlocked = deadlocked_.load(std::memory_order_acquire);
   report.errors = errors_;
   report.deadlock_detail = deadlock_detail_;
-  report.timed_out = timed_out_;
-  report.cancelled = cancelled_;
+  report.timed_out = timed_out_.load(std::memory_order_acquire);
+  report.cancelled = cancelled_.load(std::memory_order_acquire);
   report.stop_reason = stop_reason_;
   for (const auto& pr_ptr : ranks_) {
-    report.vtime_us = std::max(report.vtime_us, pr_ptr->vtime);
+    report.vtime_us = std::max(report.vtime_us, pr_ptr->vt());
   }
   report.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   report.stats = stats_;
-  report.messages_sent = messages_sent_;
+  report.stats.tool_messages = tool_messages_.load(std::memory_order_relaxed);
+  report.messages_sent = messages_sent_.load(std::memory_order_relaxed);
   if (report.completed) {
     report.comm_leaks = comms_.leaked_user_comms();
-    report.request_leaks = request_leaks_;
+    report.request_leaks = request_leaks_.load(std::memory_order_relaxed);
   }
 
   // Once-per-run registry updates (off every per-op hot path).
@@ -180,10 +189,10 @@ RunReport Engine::run(const ProgramFn& program) {
   static obs::Counter& cancelled_metric =
       obs::Registry::instance().counter("engine.cancelled");
   runs_metric.add(1);
-  messages_metric.add(messages_sent_);
-  if (deadlocked_) deadlocks_metric.add(1);
-  if (timed_out_) timeouts_metric.add(1);
-  if (cancelled_) cancelled_metric.add(1);
+  messages_metric.add(report.messages_sent);
+  if (report.deadlocked) deadlocks_metric.add(1);
+  if (report.timed_out) timeouts_metric.add(1);
+  if (report.cancelled) cancelled_metric.add(1);
 
   // Pool effectiveness: acquired vs freelist-reused. A warm steady state
   // shows reused converging on acquired (allocation-free matching).
@@ -199,18 +208,42 @@ RunReport Engine::run(const ProgramFn& program) {
       obs::Registry::instance().counter("engine.pool.buf_acquired");
   static obs::Counter& buf_reused_metric =
       obs::Registry::instance().counter("engine.pool.buf_reused");
-  req_acquired_metric.add(req_pool_.stats().acquired);
-  req_reused_metric.add(req_pool_.stats().reused);
+  PoolStats req_total;
   PoolStats nodes;
+  BufferPool::Stats buf_total;
   for (const auto& pr_ptr : ranks_) {
+    req_total.acquired += pr_ptr->req_pool.stats().acquired;
+    req_total.reused += pr_ptr->req_pool.stats().reused;
     const PoolStats s = pr_ptr->match->pool_stats();
     nodes.acquired += s.acquired;
     nodes.reused += s.reused;
+    buf_total.acquired += pr_ptr->buf_pool.stats().acquired;
+    buf_total.reused += pr_ptr->buf_pool.stats().reused;
   }
+  req_acquired_metric.add(req_total.acquired);
+  req_reused_metric.add(req_total.reused);
   node_acquired_metric.add(nodes.acquired);
   node_reused_metric.add(nodes.reused);
-  buf_acquired_metric.add(buf_pool_.stats().acquired);
-  buf_reused_metric.add(buf_pool_.stats().reused);
+  buf_acquired_metric.add(buf_total.acquired);
+  buf_reused_metric.add(buf_total.reused);
+
+  // Lock-shard contention and envelope small-buffer effectiveness.
+  static obs::Counter& lock_acquired_metric =
+      obs::Registry::instance().counter("engine.lock.acquired");
+  static obs::Counter& lock_contended_metric =
+      obs::Registry::instance().counter("engine.lock.contended");
+  static obs::Counter& lock_all_shards_metric =
+      obs::Registry::instance().counter("engine.lock.all_shards");
+  static obs::Counter& env_inline_metric =
+      obs::Registry::instance().counter("engine.envelope.inline_hits");
+  static obs::Counter& env_spill_metric =
+      obs::Registry::instance().counter("engine.envelope.heap_spills");
+  const EngineLock::Stats ls = lock_.stats();
+  lock_acquired_metric.add(ls.acquires);
+  lock_contended_metric.add(ls.contended);
+  lock_all_shards_metric.add(ls.all_shards);
+  env_inline_metric.add(payload_inline_hits_.load(std::memory_order_relaxed));
+  env_spill_metric.add(payload_heap_spills_.load(std::memory_order_relaxed));
   return report;
 }
 
@@ -233,28 +266,38 @@ void Engine::rank_body(Rank r, const ProgramFn& program) {
   } catch (const ProgramFailure&) {
     // Error already recorded by throw_program_error / api_fail.
   } catch (const InternalError& e) {
-    std::unique_lock<std::mutex> lk(mu_);
-    errors_.push_back({r, std::string("tool internal error: ") + e.what()});
-    abort_all_locked();
+    {
+      std::lock_guard<std::mutex> vl(verdict_mu_);
+      errors_.push_back({r, std::string("tool internal error: ") + e.what()});
+    }
+    abort_all();
   } catch (const FaultInjected& e) {
-    std::unique_lock<std::mutex> lk(mu_);
-    errors_.push_back({r, std::string("fault injected: ") + e.what()});
-    abort_all_locked();
+    {
+      std::lock_guard<std::mutex> vl(verdict_mu_);
+      errors_.push_back({r, std::string("fault injected: ") + e.what()});
+    }
+    abort_all();
   } catch (const std::exception& e) {
-    std::unique_lock<std::mutex> lk(mu_);
-    errors_.push_back({r, std::string("uncaught exception: ") + e.what()});
-    abort_all_locked();
+    {
+      std::lock_guard<std::mutex> vl(verdict_mu_);
+      errors_.push_back({r, std::string("uncaught exception: ") + e.what()});
+    }
+    abort_all();
   }
 
-  std::unique_lock<std::mutex> lk(mu_);
+  EngineGuard g(lock_, r);
   me.finished = true;
-  ++finished_count_;
-  if (finished_normally && !aborted_ && !deadlocked_) {
+  finished_count_.fetch_add(1, std::memory_order_acq_rel);
+  if (finished_normally && !stopped()) {
     for (const auto& [id, rec] : me.reqs) {
-      if (!rec->tool_internal) ++request_leaks_;
+      if (!rec->tool_internal) {
+        request_leaks_.fetch_add(1, std::memory_order_relaxed);
+      }
     }
   }
-  if (blocked_count_ > 0) maybe_declare_deadlock(r);
+  if (blocked_count_.load(std::memory_order_acquire) > 0) {
+    maybe_declare_deadlock(g, r);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -262,163 +305,221 @@ void Engine::rank_body(Rank r, const ProgramFn& program) {
 // ---------------------------------------------------------------------------
 
 template <typename Pred>
-void Engine::blocking_wait(std::unique_lock<std::mutex>& lk, Rank r,
-                           BlockKind kind, std::string desc, Pred pred) {
+void Engine::blocking_wait(EngineGuard& g, Rank r, BlockKind kind,
+                           std::string desc, Pred pred) {
   if (pred()) return;
-  check_abort(lk);
+  check_abort(g);
   PerRank& me = pr(r);
   me.blocked = true;
   me.block_kind = kind;
   me.block_desc = std::move(desc);
   me.block_pred = pred;
-  ++blocked_count_;
+  blocked_count_.fetch_add(1, std::memory_order_acq_rel);
   DAMPI_TEVENT(obs::EventKind::kBlock, obs::Phase::kBegin, r,
                static_cast<std::int32_t>(kind));
-  maybe_declare_deadlock(r);
-  sched_->block(lk, r);
+  maybe_declare_deadlock(g, r);
+  sched_->block(g, r);
   DAMPI_TEVENT(obs::EventKind::kBlock, obs::Phase::kEnd, r,
                static_cast<std::int32_t>(kind));
-  --blocked_count_;
+  blocked_count_.fetch_sub(1, std::memory_order_acq_rel);
   me.blocked = false;
   me.block_kind = BlockKind::kNone;
   me.block_pred = nullptr;
-  if (aborted_ || deadlocked_) {
-    lk.unlock();
+  if (stopped()) {
+    g.unlock();
     throw AbortRun{};
   }
 }
 
-void Engine::maybe_declare_deadlock(Rank) {
+void Engine::maybe_declare_deadlock(EngineGuard& g, Rank) {
   // Schedulers that run ranks to their blocking point detect stalls
   // exactly (no runnable candidate anywhere); the count below would
   // misfire there, because a runnable-but-unscheduled rank is neither
   // blocked nor finished — at large nprocs the last scheduled rank
   // blocking must not read "everyone is stuck".
   if (sched_->detects_stall()) return;
-  if (blocked_count_ + finished_count_ != opts_.nprocs || aborted_ ||
-      deadlocked_) {
+  // A deadlock needs at least one blocked rank: without the > 0 guard,
+  // "everyone finished" also sums to nprocs, and the escalation below
+  // could reach that state if the last blocked rank wakes and finishes
+  // between the caller's count read and the all-shards reacquisition.
+  if (blocked_count_.load(std::memory_order_acquire) == 0 ||
+      blocked_count_.load(std::memory_order_acquire) +
+              finished_count_.load(std::memory_order_acquire) !=
+          opts_.nprocs ||
+      stopped()) {
     return;
   }
   // A rank whose wake condition already holds is merely late to wake, not
   // stuck; with eager matching no spontaneous events exist, so "all
-  // blocked with no satisfied predicate" is an exact deadlock.
-  for (const auto& p : ranks_) {
-    if (p->blocked && p->block_pred && p->block_pred()) return;
+  // blocked with no satisfied predicate" is an exact deadlock. The scan
+  // reads every rank's block state, so it needs every shard: escalate if
+  // this guard holds fewer, re-validating the counts afterwards (a peer
+  // may have woken while we held nothing).
+  if (g.all()) {
+    for (const auto& p : ranks_) {
+      if (p->blocked && p->block_pred && p->block_pred()) return;
+    }
+    declare_deadlock(g);
+    return;
   }
-  declare_deadlock_locked();
-}
-
-void Engine::declare_deadlock_locked() {
-  DAMPI_TEVENT(obs::EventKind::kDeadlock, obs::Phase::kInstant);
-  deadlocked_ = true;
-  std::string detail;
-  for (Rank r = 0; r < opts_.nprocs; ++r) {
-    const PerRank& p = pr(r);
-    if (p.blocked) {
-      detail += strfmt("rank %d blocked in %s\n", r, p.block_desc.c_str());
+  g.unlock();
+  {
+    EngineGuard all(lock_, EngineGuard::kAllShards);
+    // Re-validate the blocked > 0 guard too: the last blocked rank can
+    // wake and finish while we held nothing, leaving blocked=0 and
+    // finished=nprocs — the sum still matches, but that is a completed
+    // run, not a deadlock (and the scan below would be vacuous).
+    if (blocked_count_.load(std::memory_order_acquire) > 0 &&
+        blocked_count_.load(std::memory_order_acquire) +
+                finished_count_.load(std::memory_order_acquire) ==
+            opts_.nprocs &&
+        !stopped()) {
+      bool satisfied = false;
+      for (const auto& p : ranks_) {
+        if (p->blocked && p->block_pred && p->block_pred()) {
+          satisfied = true;
+          break;
+        }
+      }
+      if (!satisfied) declare_deadlock(all);
     }
   }
-  deadlock_detail_ = detail;
+  g.lock();
+}
+
+void Engine::declare_deadlock(EngineGuard& g) {
+  DAMPI_CHECK(g.all());
+  {
+    // The verdict mutex arbitrates against a concurrent cancel/timeout:
+    // exactly one of them wins and the rest become no-ops.
+    std::lock_guard<std::mutex> vl(verdict_mu_);
+    if (stopped()) return;
+    DAMPI_TEVENT(obs::EventKind::kDeadlock, obs::Phase::kInstant);
+    std::string detail;
+    for (Rank r = 0; r < opts_.nprocs; ++r) {
+      const PerRank& p = pr(r);
+      if (p.blocked) {
+        detail += strfmt("rank %d blocked in %s\n", r, p.block_desc.c_str());
+      }
+    }
+    deadlock_detail_ = detail;
+    deadlocked_.store(true, std::memory_order_release);
+  }
   sched_->wake_all();
 }
 
-void Engine::abort_all_locked() {
-  aborted_ = true;
+void Engine::abort_all() {
+  aborted_.store(true, std::memory_order_release);
   sched_->wake_all();
 }
 
-void Engine::declare_timeout_locked(std::string reason) {
-  if (aborted_ || deadlocked_) return;
-  timed_out_ = true;
-  stop_reason_ = std::move(reason);
-  DAMPI_TEVENT(obs::EventKind::kRunTimeout, obs::Phase::kInstant);
-  abort_all_locked();
+void Engine::declare_timeout(std::string reason) {
+  {
+    std::lock_guard<std::mutex> vl(verdict_mu_);
+    if (stopped()) return;
+    timed_out_.store(true, std::memory_order_relaxed);
+    stop_reason_ = std::move(reason);
+    DAMPI_TEVENT(obs::EventKind::kRunTimeout, obs::Phase::kInstant);
+    aborted_.store(true, std::memory_order_release);
+  }
+  sched_->wake_all();
 }
 
 void Engine::cancel(const std::string& reason) {
-  std::unique_lock<std::mutex> lk(mu_);
-  if (aborted_ || deadlocked_) return;
-  cancelled_ = true;
-  stop_reason_ = reason.empty() ? "externally cancelled" : reason;
-  DAMPI_TEVENT(obs::EventKind::kRunCancel, obs::Phase::kInstant);
-  abort_all_locked();
+  {
+    std::lock_guard<std::mutex> vl(verdict_mu_);
+    if (stopped()) return;
+    cancelled_.store(true, std::memory_order_relaxed);
+    stop_reason_ = reason.empty() ? "externally cancelled" : reason;
+    DAMPI_TEVENT(obs::EventKind::kRunCancel, obs::Phase::kInstant);
+    aborted_.store(true, std::memory_order_release);
+  }
+  sched_->wake_all();
 }
 
-void Engine::charge_op(std::unique_lock<std::mutex>& lk, Rank r) {
+void Engine::charge_op(EngineGuard& g, Rank r) {
   if (!budgets_armed_) return;
-  ++ops_executed_;
-  if (opts_.max_ops > 0 && ops_executed_ > opts_.max_ops) {
-    declare_timeout_locked(
-        strfmt("op budget exhausted (%llu ops)",
-               static_cast<unsigned long long>(opts_.max_ops)));
+  const std::uint64_t ops =
+      ops_executed_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (opts_.max_ops > 0 && ops > opts_.max_ops) {
+    declare_timeout(strfmt("op budget exhausted (%llu ops)",
+                           static_cast<unsigned long long>(opts_.max_ops)));
   } else if (opts_.max_run_vtime_us > 0.0 &&
-             pr(r).vtime > opts_.max_run_vtime_us) {
-    declare_timeout_locked(strfmt("virtual-time budget exhausted (%.0f us)",
-                                  opts_.max_run_vtime_us));
-  } else if (has_wall_deadline_ && (ops_executed_ & 31) == 0 &&
+             pr(r).vt() > opts_.max_run_vtime_us) {
+    declare_timeout(strfmt("virtual-time budget exhausted (%.0f us)",
+                           opts_.max_run_vtime_us));
+  } else if (has_wall_deadline_ && (ops & 31) == 0 &&
              std::chrono::steady_clock::now() >= run_deadline_) {
     // The clock read is amortized over 32 ops: a busy rank issues ops
     // microseconds apart, so the detection slack is negligible, while a
     // blocked rank is woken exactly at the deadline by the scheduler's
     // timed wait regardless of this stride.
-    declare_timeout_locked(strfmt("run wall deadline exceeded (%.3f s)",
-                                  opts_.max_run_wall_seconds));
+    declare_timeout(strfmt("run wall deadline exceeded (%.3f s)",
+                           opts_.max_run_wall_seconds));
   }
-  check_abort(lk);
+  check_abort(g);
 }
 
-void Engine::throw_program_error(std::unique_lock<std::mutex>& lk, Rank r,
+void Engine::throw_program_error(EngineGuard& g, Rank r,
                                  const std::string& message) {
-  errors_.push_back({r, message});
-  abort_all_locked();
-  lk.unlock();
+  {
+    std::lock_guard<std::mutex> vl(verdict_mu_);
+    errors_.push_back({r, message});
+  }
+  abort_all();
+  g.unlock();
   throw ProgramFailure{message};
 }
 
-void Engine::check_abort(std::unique_lock<std::mutex>& lk) {
-  if (aborted_ || deadlocked_) {
-    lk.unlock();
+void Engine::check_abort(EngineGuard& g) {
+  if (stopped()) {
+    g.unlock();
     throw AbortRun{};
   }
 }
 
 // ---------------------------------------------------------------------------
-// Matching engine primitives (lock held)
+// Matching engine primitives (owning shard(s) held)
 // ---------------------------------------------------------------------------
 
-std::uint64_t& Engine::seq_counter(Rank src, Rank dst, CommId comm) {
-  // Pack the triple; each component is comfortably below 2^20.
-  const std::uint64_t key = (static_cast<std::uint64_t>(src) << 40) |
-                            (static_cast<std::uint64_t>(dst) << 20) |
+std::uint64_t& Engine::seq_counter(PerRank& sender, Rank dst, CommId comm) {
+  // Pack the pair; each component is comfortably below 2^20. The counter
+  // map lives in the *sender's* PerRank (its shard serializes it), so the
+  // old global (src, dst, comm) key drops the src component.
+  const std::uint64_t key = (static_cast<std::uint64_t>(dst) << 20) |
                             static_cast<std::uint64_t>(comm);
-  return seq_counters_[key];
+  return sender.seq_counters[key];
 }
 
-RequestId Engine::do_isend(std::unique_lock<std::mutex>&, Rank r,
-                           Rank dst_world, Tag tag, CommId comm, Bytes payload,
-                           bool tool_internal, bool synchronous,
-                           SendInfo* info) {
+RequestId Engine::do_isend(EngineGuard& g, Rank r, Rank dst_world, Tag tag,
+                           CommId comm, Bytes payload, bool tool_internal,
+                           bool synchronous, SendInfo* info) {
+  (void)g;  // Covers shards r and dst_world (EngineGuard::add).
   PerRank& me = pr(r);
-  me.vtime += opts_.cost.send_overhead_us +
-              opts_.cost.send_per_byte_us *
-                  static_cast<double>(payload.size());
+  me.vt_add(opts_.cost.send_overhead_us +
+            opts_.cost.send_per_byte_us * static_cast<double>(payload.size()));
 
   Envelope env;
   env.src_world = r;
   env.dst_world = dst_world;
   env.tag = tag;
   env.comm = comm;
-  env.seq = seq_counter(r, dst_world, comm)++;
-  env.msg_id = next_msg_id_++;
+  env.seq = seq_counter(me, dst_world, comm)++;
+  env.msg_id = next_msg_id_.fetch_add(1, std::memory_order_relaxed);
   env.arrival_vtime =
-      me.vtime + opts_.cost.message_transit_us(payload.size());
-  env.payload = std::move(payload);
+      me.vt() + opts_.cost.message_transit_us(payload.size());
+  env.payload = Payload(std::move(payload), &me.buf_pool);
   env.tool_internal = tool_internal;
+  if (env.payload.is_inline()) {
+    payload_inline_hits_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    payload_heap_spills_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   if (tool_internal) {
-    ++stats_.tool_messages;
+    tool_messages_.fetch_add(1, std::memory_order_relaxed);
   } else {
-    ++messages_sent_;
+    messages_sent_.fetch_add(1, std::memory_order_relaxed);
   }
   if (info != nullptr) {
     info->seq = env.seq;
@@ -431,18 +532,20 @@ RequestId Engine::do_isend(std::unique_lock<std::mutex>&, Rank r,
     // Eager sends complete immediately; synchronous sends only complete
     // when matched (rendezvous). Either way the user must still consume
     // the request (wait/test) — unconsumed send requests are leaks.
-    PoolPtr<RequestRecord> rec = new_request();
-    rec->id = next_req_id_++;
+    PoolPtr<RequestRecord> rec = new_request(me);
+    rec->id = next_req_id_.fetch_add(1, std::memory_order_relaxed);
     rec->kind = ReqKind::kSend;
     rec->owner_world = r;
     rec->comm = comm;
-    rec->complete = !synchronous;
-    rec->post_vtime = me.vtime;
+    rec->complete.store(!synchronous, std::memory_order_relaxed);
+    rec->post_vtime = me.vt();
     id = rec->id;
+    RequestRecord* rec_raw = rec.get();
     me.reqs.emplace(id, std::move(rec));
     if (synchronous) {
       env.sender_req = id;
       env.sender_world = r;
+      env.sender_rec = rec_raw;
     }
   }
 
@@ -450,9 +553,9 @@ RequestId Engine::do_isend(std::unique_lock<std::mutex>&, Rank r,
   return id;
 }
 
-PoolPtr<RequestRecord> Engine::new_request() {
-  return PoolPtr<RequestRecord>(req_pool_.acquire(),
-                                PoolDeleter<RequestRecord>(&req_pool_));
+PoolPtr<RequestRecord> Engine::new_request(PerRank& me) {
+  return PoolPtr<RequestRecord>(me.req_pool.acquire(),
+                                PoolDeleter<RequestRecord>(&me.req_pool));
 }
 
 bool Engine::match_arrival(Rank dst, Envelope&& env) {
@@ -475,36 +578,39 @@ bool Engine::match_arrival(Rank dst, Envelope&& env) {
 }
 
 void Engine::complete_recv(Rank r, RequestRecord& rec, Envelope&& env) {
-  if (env.sender_req != kNullRequest) {
+  if (env.sender_rec != nullptr) {
     // Rendezvous: the matching receive releases the synchronous sender;
-    // the release (ack) reaches it one latency after the match.
-    PerRank& sender = pr(env.sender_world);
-    auto it = sender.reqs.find(env.sender_req);
-    if (it != sender.reqs.end()) {
-      it->second->complete = true;
-      it->second->complete_vtime =
-          std::max(pr(r).vtime, env.arrival_vtime) + opts_.cost.latency_us;
-      sched_->wake(env.sender_world);
-    }
+    // the release (ack) reaches it one latency after the match. The
+    // sender's record is completed *cross-shard* through its atomics
+    // (slab addresses are stable, and an incomplete send cannot be
+    // consumed, so the record outlives this store): vtime first, then
+    // the flag with release ordering — the sender's wake predicate
+    // acquire-loads the flag.
+    const Rank sender_world = env.sender_world;
+    env.sender_rec->complete_vtime.store(
+        std::max(pr(r).vt(), env.arrival_vtime) + opts_.cost.latency_us,
+        std::memory_order_relaxed);
+    env.sender_rec->complete.store(true, std::memory_order_release);
+    sched_->wake(sender_world);
   }
-  rec.complete = true;
   rec.msg = std::move(env);
+  rec.complete.store(true, std::memory_order_release);
   sched_->wake(r);
 }
 
-RequestId Engine::do_irecv(std::unique_lock<std::mutex>&, Rank r,
-                           Rank src_world, Tag tag, CommId comm,
-                           bool tool_internal) {
+RequestId Engine::do_irecv(EngineGuard& g, Rank r, Rank src_world, Tag tag,
+                           CommId comm, bool tool_internal) {
+  (void)g;  // Covers shard r.
   PerRank& me = pr(r);
-  PoolPtr<RequestRecord> rec = new_request();
-  rec->id = next_req_id_++;
+  PoolPtr<RequestRecord> rec = new_request(me);
+  rec->id = next_req_id_.fetch_add(1, std::memory_order_relaxed);
   rec->kind = ReqKind::kRecv;
   rec->owner_world = r;
   rec->posted_src_world = src_world;
   rec->posted_tag = tag;
   rec->comm = comm;
   rec->tool_internal = tool_internal;
-  rec->post_vtime = me.vtime;
+  rec->post_vtime = me.vt();
   const RequestId id = rec->id;
   RequestRecord& rec_ref = *rec;
   me.reqs.emplace(id, std::move(rec));
@@ -513,8 +619,13 @@ RequestId Engine::do_irecv(std::unique_lock<std::mutex>&, Rank r,
     std::vector<MatchCandidate>& cands = me.cand_buf;
     me.match->wildcard_candidates(tag, comm, &cands);
     if (!cands.empty()) {
-      const std::size_t pick =
-          cands.size() == 1 ? 0 : policy_->choose(cands);
+      std::size_t pick = 0;
+      if (cands.size() > 1) {
+        // The policy RNG is engine-global mutable state; a leaf mutex
+        // keeps wildcard draws well-defined under sharded locking.
+        std::lock_guard<std::mutex> pl(policy_mu_);
+        pick = policy_->choose(cands);
+      }
       DAMPI_CHECK(pick < cands.size());
       DAMPI_TEVENT(obs::EventKind::kRecvMatch, obs::Phase::kInstant,
                    cands[pick].src_world, r, cands[pick].tag);
@@ -536,36 +647,37 @@ RequestId Engine::do_irecv(std::unique_lock<std::mutex>&, Rank r,
   return id;
 }
 
-void Engine::block_until_complete(std::unique_lock<std::mutex>& lk, Rank r,
-                                  RequestId req) {
+void Engine::block_until_complete(EngineGuard& g, Rank r, RequestId req) {
   PerRank& me = pr(r);
   auto it = me.reqs.find(req);
   DAMPI_CHECK(it != me.reqs.end());
   RequestRecord* rec = it->second.get();
-  if (rec->complete) return;
+  if (rec->complete.load(std::memory_order_acquire)) return;
   const std::string desc =
       rec->kind == ReqKind::kSend
           ? strfmt("wait(ssend comm=%d)", rec->comm)
           : strfmt("wait(recv src=%d tag=%d comm=%d)", rec->posted_src_world,
                    rec->posted_tag, rec->comm);
-  blocking_wait(lk, r, BlockKind::kWait, desc, [rec] { return rec->complete; });
+  blocking_wait(g, r, BlockKind::kWait, desc, [rec] {
+    return rec->complete.load(std::memory_order_acquire);
+  });
 }
 
-Status Engine::finish_request(std::unique_lock<std::mutex>& lk, Rank r,
-                              RequestId req, Bytes* out, bool run_hooks) {
+Status Engine::finish_request(EngineGuard& g, Rank r, RequestId req, Bytes* out,
+                              bool run_hooks) {
   PerRank& me = pr(r);
   // Extract the record so hook-issued raw operations cannot invalidate it.
   auto node = me.reqs.extract(req);
   DAMPI_CHECK_MSG(!node.empty(), "request vanished during completion");
   PoolPtr<RequestRecord> rec = std::move(node.mapped());
-  DAMPI_CHECK(rec->complete);
+  DAMPI_CHECK(rec->complete.load(std::memory_order_acquire));
 
   Status status;
   // A synchronous send's completion waits for the remote match.
-  me.vtime = std::max(me.vtime, rec->complete_vtime);
+  me.vt_floor(rec->complete_vtime.load(std::memory_order_relaxed));
   if (rec->kind == ReqKind::kRecv) {
-    me.vtime = std::max(me.vtime, rec->msg.arrival_vtime) +
-               opts_.cost.recv_overhead_us;
+    me.vt_store(std::max(me.vt(), rec->msg.arrival_vtime) +
+                opts_.cost.recv_overhead_us);
     status.source = comms_.to_rel(rec->comm, rec->msg.src_world);
     status.tag = rec->msg.tag;
     status.bytes = rec->msg.payload.size();
@@ -589,19 +701,25 @@ Status Engine::finish_request(std::unique_lock<std::mutex>& lk, Rank r,
     completion.seq = rec->msg.seq;
     completion.msg_id = rec->msg.msg_id;
     completion.status = status;
-    completion.payload = &rec->msg.payload;
-    lk.unlock();
+    // Materialize the payload (hooks mutate it in place — piggyback
+    // strip); pool access stays inside the critical section.
+    Bytes hook_payload = rec->msg.payload.release(&me.buf_pool);
+    completion.payload = &hook_payload;
+    g.unlock();
     hooks_post_wait(r, completion);
-    lk.lock();
+    g.lock();
     status = completion.status;
-  }
-
-  if (rec->kind == ReqKind::kRecv) {
-    if (out != nullptr) {
-      *out = std::move(rec->msg.payload);
+    if (rec->kind == ReqKind::kRecv && out != nullptr) {
+      *out = std::move(hook_payload);
     } else {
       // Dropped payload: keep its capacity for the next internal copy.
-      buf_pool_.recycle(std::move(rec->msg.payload));
+      me.buf_pool.recycle(std::move(hook_payload));
+    }
+  } else if (rec->kind == ReqKind::kRecv) {
+    if (out != nullptr) {
+      *out = rec->msg.payload.release(&me.buf_pool);
+    } else {
+      rec->msg.payload.recycle_into(me.buf_pool);
     }
   }
   return status;
@@ -611,15 +729,14 @@ Status Engine::finish_request(std::unique_lock<std::mutex>& lk, Rank r,
 // Proc-facing API
 // ---------------------------------------------------------------------------
 
-void Engine::validate_comm_member(std::unique_lock<std::mutex>& lk, Rank r,
-                                  CommId comm) {
+void Engine::validate_comm_member(EngineGuard& g, Rank r, CommId comm) {
   if (!comms_.valid(comm)) {
-    throw_program_error(lk, r,
+    throw_program_error(g, r,
                         strfmt("operation on invalid communicator %d", comm));
   }
   if (!comms_.get(comm).contains_world(r)) {
     throw_program_error(
-        lk, r, strfmt("rank %d is not a member of communicator %d", r, comm));
+        g, r, strfmt("rank %d is not a member of communicator %d", r, comm));
   }
 }
 
@@ -633,25 +750,30 @@ RequestId Engine::api_isend(Rank r, Rank dst, Tag tag, Bytes payload,
   call.blocking = blocking;
   hooks_pre_isend(r, call);
 
-  std::unique_lock<std::mutex> lk(mu_);
-  check_abort(lk);
-  charge_op(lk, r);
-  validate_comm_member(lk, r, call.comm);
+  EngineGuard g(lock_, r);
+  check_abort(g);
+  charge_op(g, r);
+  validate_comm_member(g, r, call.comm);
   if (call.tag < 0 || call.tag > kMaxUserTag) {
-    throw_program_error(lk, r, strfmt("invalid send tag %d", call.tag));
+    throw_program_error(g, r, strfmt("invalid send tag %d", call.tag));
   }
   const int csize = comms_.get(call.comm).size();
   if (call.dst < 0 || call.dst >= csize) {
-    throw_program_error(lk, r, strfmt("send to invalid rank %d", call.dst));
+    throw_program_error(g, r, strfmt("send to invalid rank %d", call.dst));
   }
   stats_.bump(OpCategory::kSendRecv, r);
-  pr(r).vtime += opts_.cost.local_op_us;
+  pr(r).vt_add(opts_.cost.local_op_us);
   const Rank dst_world = comms_.to_world(call.comm, call.dst);
+  // Delivering into dst's queues needs its shard too. add() may drop and
+  // reacquire to respect lock ordering; nothing resolved above is held by
+  // reference across it, and the comm cannot be freed meanwhile (freeing
+  // is collective over its members, which include the rank sending here).
+  g.add(dst_world);
   SendInfo info;
-  const RequestId id = do_isend(lk, r, dst_world, call.tag, call.comm,
+  const RequestId id = do_isend(g, r, dst_world, call.tag, call.comm,
                                 std::move(*call.payload), false, synchronous,
                                 &info);
-  lk.unlock();
+  g.unlock();
   hooks_post_isend(r, call, id, info);
   return id;
 }
@@ -665,22 +787,22 @@ RequestId Engine::api_irecv(Rank r, Rank src, Tag tag, CommId comm,
   call.blocking = blocking;
   hooks_pre_irecv(r, call);
 
-  std::unique_lock<std::mutex> lk(mu_);
-  check_abort(lk);
-  charge_op(lk, r);
-  validate_comm_member(lk, r, call.comm);
+  EngineGuard g(lock_, r);
+  check_abort(g);
+  charge_op(g, r);
+  validate_comm_member(g, r, call.comm);
   if (call.tag < kAnyTag || call.tag > kMaxUserTag) {
-    throw_program_error(lk, r, strfmt("invalid recv tag %d", call.tag));
+    throw_program_error(g, r, strfmt("invalid recv tag %d", call.tag));
   }
   const int csize = comms_.get(call.comm).size();
   if (call.src != kAnySource && (call.src < 0 || call.src >= csize)) {
-    throw_program_error(lk, r, strfmt("recv from invalid rank %d", call.src));
+    throw_program_error(g, r, strfmt("recv from invalid rank %d", call.src));
   }
   stats_.bump(OpCategory::kSendRecv, r);
-  pr(r).vtime += opts_.cost.local_op_us;
+  pr(r).vt_add(opts_.cost.local_op_us);
   const Rank src_world = comms_.to_world(call.comm, call.src);
-  const RequestId id = do_irecv(lk, r, src_world, call.tag, call.comm, false);
-  lk.unlock();
+  const RequestId id = do_irecv(g, r, src_world, call.tag, call.comm, false);
+  g.unlock();
   hooks_post_irecv(r, call, id);
   return id;
 }
@@ -688,38 +810,38 @@ RequestId Engine::api_irecv(Rank r, Rank src, Tag tag, CommId comm,
 Status Engine::api_wait(Rank r, RequestId req, Bytes* out, bool count_stat) {
   if (count_stat) hooks_pre_wait(r, req);
 
-  std::unique_lock<std::mutex> lk(mu_);
-  check_abort(lk);
-  charge_op(lk, r);
+  EngineGuard g(lock_, r);
+  check_abort(g);
+  charge_op(g, r);
   if (pr(r).reqs.find(req) == pr(r).reqs.end()) {
-    throw_program_error(lk, r, "wait on invalid or consumed request");
+    throw_program_error(g, r, "wait on invalid or consumed request");
   }
   if (count_stat) stats_.bump(OpCategory::kWait, r);
-  pr(r).vtime += opts_.cost.local_op_us;
-  block_until_complete(lk, r, req);
-  return finish_request(lk, r, req, out, /*run_hooks=*/true);
+  pr(r).vt_add(opts_.cost.local_op_us);
+  block_until_complete(g, r, req);
+  return finish_request(g, r, req, out, /*run_hooks=*/true);
 }
 
 bool Engine::api_test(Rank r, RequestId req, Status* status, Bytes* out) {
   hooks_pre_wait(r, req);
 
-  std::unique_lock<std::mutex> lk(mu_);
-  check_abort(lk);
-  charge_op(lk, r);
+  EngineGuard g(lock_, r);
+  check_abort(g);
+  charge_op(g, r);
   auto it = pr(r).reqs.find(req);
   if (it == pr(r).reqs.end()) {
-    throw_program_error(lk, r, "test on invalid or consumed request");
+    throw_program_error(g, r, "test on invalid or consumed request");
   }
   stats_.bump(OpCategory::kWait, r);
-  pr(r).vtime += opts_.cost.local_op_us;
-  if (!it->second->complete) {
+  pr(r).vt_add(opts_.cost.local_op_us);
+  if (!it->second->complete.load(std::memory_order_acquire)) {
     // A failed poll is a scheduling point: under run-to-block execution
     // the polling rank must cede the host or a test loop starves the
     // very ranks that would complete the request.
-    sched_->yield(lk, r);
+    sched_->yield(g, r);
     return false;
   }
-  Status st = finish_request(lk, r, req, out, /*run_hooks=*/true);
+  Status st = finish_request(g, r, req, out, /*run_hooks=*/true);
   if (status != nullptr) *status = st;
   return true;
 }
@@ -729,20 +851,21 @@ void Engine::api_waitall(Rank r, std::span<RequestId> reqs) {
   bool first = true;
   for (RequestId& req : reqs) {
     if (req == kNullRequest) continue;
-    std::unique_lock<std::mutex> lk(mu_);
-    check_abort(lk);
-    charge_op(lk, r);
+    EngineGuard g(lock_, r);
+    check_abort(g);
+    charge_op(g, r);
     if (pr(r).reqs.find(req) == pr(r).reqs.end()) {
-      throw_program_error(lk, r, "waitall on invalid or consumed request");
+      throw_program_error(g, r, "waitall on invalid or consumed request");
     }
     if (first) {
       stats_.bump(OpCategory::kWait, r);
-      pr(r).vtime += opts_.cost.local_op_us;
+      pr(r).vt_add(opts_.cost.local_op_us);
       first = false;
     }
-    block_until_complete(lk, r, req);
-    finish_request(lk, r, req, nullptr, /*run_hooks=*/true);
+    block_until_complete(g, r, req);
+    finish_request(g, r, req, nullptr, /*run_hooks=*/true);
     req = kNullRequest;
+    g.unlock();
   }
 }
 
@@ -750,11 +873,11 @@ std::size_t Engine::api_waitany(Rank r, std::span<RequestId> reqs,
                                 Status* status, Bytes* out) {
   if (!reqs.empty()) hooks_pre_wait(r, reqs[0]);
 
-  std::unique_lock<std::mutex> lk(mu_);
-  check_abort(lk);
-  charge_op(lk, r);
+  EngineGuard g(lock_, r);
+  check_abort(g);
+  charge_op(g, r);
   stats_.bump(OpCategory::kWait, r);
-  pr(r).vtime += opts_.cost.local_op_us;
+  pr(r).vt_add(opts_.cost.local_op_us);
 
   std::vector<RequestRecord*> recs(reqs.size(), nullptr);
   bool any_live = false;
@@ -762,25 +885,28 @@ std::size_t Engine::api_waitany(Rank r, std::span<RequestId> reqs,
     if (reqs[i] == kNullRequest) continue;
     auto it = pr(r).reqs.find(reqs[i]);
     if (it == pr(r).reqs.end()) {
-      throw_program_error(lk, r, "waitany on invalid or consumed request");
+      throw_program_error(g, r, "waitany on invalid or consumed request");
     }
     recs[i] = it->second.get();
     any_live = true;
   }
   if (!any_live) {
-    throw_program_error(lk, r, "waitany with no live requests");
+    throw_program_error(g, r, "waitany with no live requests");
   }
   auto ready_index = [&recs]() -> std::size_t {
     for (std::size_t i = 0; i < recs.size(); ++i) {
-      if (recs[i] != nullptr && recs[i]->complete) return i;
+      if (recs[i] != nullptr &&
+          recs[i]->complete.load(std::memory_order_acquire)) {
+        return i;
+      }
     }
     return recs.size();
   };
-  blocking_wait(lk, r, BlockKind::kWait, "waitany",
+  blocking_wait(g, r, BlockKind::kWait, "waitany",
                 [&] { return ready_index() < recs.size(); });
   const std::size_t idx = ready_index();
   DAMPI_CHECK(idx < recs.size());
-  Status st = finish_request(lk, r, reqs[idx], out, /*run_hooks=*/true);
+  Status st = finish_request(g, r, reqs[idx], out, /*run_hooks=*/true);
   if (status != nullptr) *status = st;
   reqs[idx] = kNullRequest;
   return idx;
@@ -788,25 +914,26 @@ std::size_t Engine::api_waitany(Rank r, std::span<RequestId> reqs,
 
 bool Engine::api_testall(Rank r, std::span<RequestId> reqs) {
   if (!reqs.empty()) hooks_pre_wait(r, reqs[0]);
-  std::unique_lock<std::mutex> lk(mu_);
-  check_abort(lk);
-  charge_op(lk, r);
+  EngineGuard g(lock_, r);
+  check_abort(g);
+  charge_op(g, r);
   stats_.bump(OpCategory::kWait, r);
-  pr(r).vtime += opts_.cost.local_op_us;
+  pr(r).vt_add(opts_.cost.local_op_us);
   for (const RequestId req : reqs) {
     if (req == kNullRequest) continue;
     auto it = pr(r).reqs.find(req);
     if (it == pr(r).reqs.end()) {
-      throw_program_error(lk, r, "testall on invalid or consumed request");
+      throw_program_error(g, r, "testall on invalid or consumed request");
     }
-    if (!it->second->complete) {  // MPI: consume all or none
-      sched_->yield(lk, r);
+    if (!it->second->complete.load(std::memory_order_acquire)) {
+      // MPI: consume all or none.
+      sched_->yield(g, r);
       return false;
     }
   }
   for (RequestId& req : reqs) {
     if (req == kNullRequest) continue;
-    finish_request(lk, r, req, nullptr, /*run_hooks=*/true);
+    finish_request(g, r, req, nullptr, /*run_hooks=*/true);
     req = kNullRequest;
   }
   return true;
@@ -815,25 +942,25 @@ bool Engine::api_testall(Rank r, std::span<RequestId> reqs) {
 std::size_t Engine::api_testany(Rank r, std::span<RequestId> reqs,
                                 Status* status, Bytes* out) {
   if (!reqs.empty()) hooks_pre_wait(r, reqs[0]);
-  std::unique_lock<std::mutex> lk(mu_);
-  check_abort(lk);
-  charge_op(lk, r);
+  EngineGuard g(lock_, r);
+  check_abort(g);
+  charge_op(g, r);
   stats_.bump(OpCategory::kWait, r);
-  pr(r).vtime += opts_.cost.local_op_us;
+  pr(r).vt_add(opts_.cost.local_op_us);
   for (std::size_t i = 0; i < reqs.size(); ++i) {
     if (reqs[i] == kNullRequest) continue;
     auto it = pr(r).reqs.find(reqs[i]);
     if (it == pr(r).reqs.end()) {
-      throw_program_error(lk, r, "testany on invalid or consumed request");
+      throw_program_error(g, r, "testany on invalid or consumed request");
     }
-    if (it->second->complete) {
-      Status st = finish_request(lk, r, reqs[i], out, /*run_hooks=*/true);
+    if (it->second->complete.load(std::memory_order_acquire)) {
+      Status st = finish_request(g, r, reqs[i], out, /*run_hooks=*/true);
       if (status != nullptr) *status = st;
       reqs[i] = kNullRequest;
       return i;
     }
   }
-  sched_->yield(lk, r);
+  sched_->yield(g, r);
   return reqs.size();
 }
 
@@ -845,15 +972,15 @@ Status Engine::api_probe(Rank r, Rank src, Tag tag, CommId comm, bool* flag) {
   call.blocking = (flag == nullptr);
   hooks_pre_probe(r, call);
 
-  std::unique_lock<std::mutex> lk(mu_);
-  check_abort(lk);
-  charge_op(lk, r);
-  validate_comm_member(lk, r, call.comm);
+  EngineGuard g(lock_, r);
+  check_abort(g);
+  charge_op(g, r);
+  validate_comm_member(g, r, call.comm);
   stats_.bump(OpCategory::kSendRecv, r);
-  pr(r).vtime += opts_.cost.local_op_us;
+  pr(r).vt_add(opts_.cost.local_op_us);
   const Rank src_world = comms_.to_world(call.comm, call.src);
 
-  auto exists = [&]() -> bool {
+  auto exists = [this, r, src_world, &call]() -> bool {
     if (src_world == kAnySource) {
       return pr(r).match->has_candidates(call.tag, call.comm);
     }
@@ -865,10 +992,10 @@ Status Engine::api_probe(Rank r, Rank src, Tag tag, CommId comm, bool* flag) {
   if (!found && call.blocking) {
     const std::string desc =
         strfmt("probe(src=%d tag=%d comm=%d)", call.src, call.tag, call.comm);
-    blocking_wait(lk, r, BlockKind::kProbe, desc, exists);
+    blocking_wait(g, r, BlockKind::kProbe, desc, exists);
     found = true;
   } else if (!found) {
-    sched_->yield(lk, r);  // iprobe miss: see api_test
+    sched_->yield(g, r);  // iprobe miss: see api_test
   }
 
   Status status;
@@ -878,8 +1005,11 @@ Status Engine::api_probe(Rank r, Rank src, Tag tag, CommId comm, bool* flag) {
       std::vector<MatchCandidate>& cands = pr(r).cand_buf;
       pr(r).match->wildcard_candidates(call.tag, call.comm, &cands);
       DAMPI_CHECK(!cands.empty());
-      const std::size_t pick =
-          cands.size() == 1 ? 0 : policy_->choose(cands);
+      std::size_t pick = 0;
+      if (cands.size() > 1) {
+        std::lock_guard<std::mutex> pl(policy_mu_);
+        pick = policy_->choose(cands);
+      }
       env = pr(r).match->find_by_id(cands[pick].msg_id);
     } else {
       env = pr(r).match->find_specific(src_world, call.tag, call.comm);
@@ -890,35 +1020,35 @@ Status Engine::api_probe(Rank r, Rank src, Tag tag, CommId comm, bool* flag) {
     status.bytes = env->payload.size();
     status.seq = env->seq;
     status.msg_id = env->msg_id;
-    pr(r).vtime = std::max(pr(r).vtime, env->arrival_vtime) +
-                  opts_.cost.local_op_us;
+    pr(r).vt_store(std::max(pr(r).vt(), env->arrival_vtime) +
+                   opts_.cost.local_op_us);
   }
-  lk.unlock();
+  g.unlock();
   hooks_post_probe(r, call, found, status);
   if (flag != nullptr) *flag = found;
   return status;
 }
 
 // ---------------------------------------------------------------------------
-// Collectives
+// Collectives (all shards held: slot state and the comm table are global)
 // ---------------------------------------------------------------------------
 
-Bytes Engine::apply_reduce(std::unique_lock<std::mutex>& lk, Rank r,
-                           const CollSlot& slot, const CommRecord& comm_rec) {
+Bytes Engine::apply_reduce(EngineGuard& g, Rank r, const CollSlot& slot,
+                           const CommRecord& comm_rec) {
   const std::size_t n = slot.data.empty() ? 0 : slot.data[0].size();
   for (const Bytes& b : slot.data) {
     if (b.size() != n) {
-      throw_program_error(lk, r, "reduce contributions differ in length");
+      throw_program_error(g, r, "reduce contributions differ in length");
     }
   }
   if (n % 8 != 0) {
-    throw_program_error(lk, r, "reduce contribution not a multiple of 8");
+    throw_program_error(g, r, "reduce contribution not a multiple of 8");
   }
   const std::size_t words = n / 8;
   const bool is_f64 = slot.op == ReduceOp::kSumF64 ||
                       slot.op == ReduceOp::kMaxF64 ||
                       slot.op == ReduceOp::kMinF64;
-  Bytes out = buf_pool_.copy_of(slot.data[0]);
+  Bytes out = pr(r).buf_pool.copy_of(slot.data[0]);
   for (int m = 1; m < comm_rec.size(); ++m) {
     const Bytes& in = slot.data[static_cast<std::size_t>(m)];
     for (std::size_t w = 0; w < words; ++w) {
@@ -987,10 +1117,10 @@ CollUserResult Engine::collective_impl(Rank r, CollKind kind, CommId comm,
                                        Bytes pb_contribution,
                                        bool tool_internal,
                                        CollResult* tool_result) {
-  std::unique_lock<std::mutex> lk(mu_);
-  check_abort(lk);
-  if (!tool_internal) charge_op(lk, r);
-  validate_comm_member(lk, r, comm);
+  EngineGuard g(lock_, EngineGuard::kAllShards);
+  check_abort(g);
+  if (!tool_internal) charge_op(g, r);
+  validate_comm_member(g, r, comm);
   DAMPI_TEVENT(obs::EventKind::kCollective, obs::Phase::kBegin,
                static_cast<std::int32_t>(kind), comm);
   // Copy what we need: the comm table may grow (reallocate) while we wait.
@@ -999,7 +1129,7 @@ CollUserResult Engine::collective_impl(Rank r, CollKind kind, CommId comm,
   const Rank cr = comm_rec.world_to_comm[static_cast<std::size_t>(r)];
   const bool rooted = root_to_leaves(kind) || leaves_to_root(kind);
   if (rooted && (root_rel < 0 || root_rel >= size)) {
-    throw_program_error(lk, r, strfmt("invalid collective root %d", root_rel));
+    throw_program_error(g, r, strfmt("invalid collective root %d", root_rel));
   }
   const Rank root_world = rooted ? comm_rec.members[static_cast<std::size_t>(
                                        root_rel)]
@@ -1008,7 +1138,7 @@ CollUserResult Engine::collective_impl(Rank r, CollKind kind, CommId comm,
   if (!tool_internal) {
     stats_.bump(OpCategory::kCollective, r);
   }
-  pr(r).vtime += opts_.cost.local_op_us;
+  pr(r).vt_add(opts_.cost.local_op_us);
 
   const std::uint64_t gen = pr(r).coll_gen[comm]++;
   CollSlot& slot = coll_slots_[{comm, gen}];
@@ -1023,7 +1153,7 @@ CollUserResult Engine::collective_impl(Rank r, CollKind kind, CommId comm,
   } else {
     if (slot.kind != kind || slot.root_world != root_world) {
       throw_program_error(
-          lk, r,
+          g, r,
           strfmt("collective mismatch on comm %d: rank %d called %s but the "
                  "operation in flight is %s",
                  comm, r, coll_kind_name(kind), coll_kind_name(slot.kind)));
@@ -1031,18 +1161,18 @@ CollUserResult Engine::collective_impl(Rank r, CollKind kind, CommId comm,
   }
   if (kind == CollKind::kReduce || kind == CollKind::kAllreduce) {
     if (slot.op_set && slot.op != data.op) {
-      throw_program_error(lk, r, "mismatched reduce operators");
+      throw_program_error(g, r, "mismatched reduce operators");
     }
     slot.op = data.op;
     slot.op_set = true;
   }
   if (kind == CollKind::kScatter && cr == root_rel &&
       static_cast<int>(data.multi.size()) != size) {
-    throw_program_error(lk, r, "scatter requires one slice per member");
+    throw_program_error(g, r, "scatter requires one slice per member");
   }
   if (kind == CollKind::kAlltoall &&
       static_cast<int>(data.multi.size()) != size) {
-    throw_program_error(lk, r, "alltoall requires one slice per member");
+    throw_program_error(g, r, "alltoall requires one slice per member");
   }
 
   slot.pb[static_cast<std::size_t>(cr)] = std::move(pb_contribution);
@@ -1051,10 +1181,10 @@ CollUserResult Engine::collective_impl(Rank r, CollKind kind, CommId comm,
   slot.colors[static_cast<std::size_t>(cr)] = data.color;
   slot.keys[static_cast<std::size_t>(cr)] = data.key;
   ++slot.arrived;
-  slot.max_arrival_vtime = std::max(slot.max_arrival_vtime, pr(r).vtime);
+  slot.max_arrival_vtime = std::max(slot.max_arrival_vtime, pr(r).vt());
   if (rooted && cr == root_rel) {
     slot.root_arrived = true;
-    slot.root_arrival_vtime = pr(r).vtime;
+    slot.root_arrival_vtime = pr(r).vt();
   }
 
   // Wake members whose completion predicate may have flipped.
@@ -1077,7 +1207,7 @@ CollUserResult Engine::collective_impl(Rank r, CollKind kind, CommId comm,
     const std::string desc = strfmt("collective %s comm=%d gen=%llu",
                                     coll_kind_name(kind), comm,
                                     static_cast<unsigned long long>(gen));
-    blocking_wait(lk, r, BlockKind::kColl, desc, my_pred);
+    blocking_wait(g, r, BlockKind::kColl, desc, my_pred);
   }
 
   // Completion virtual time.
@@ -1087,46 +1217,47 @@ CollUserResult Engine::collective_impl(Rank r, CollKind kind, CommId comm,
     done_vtime = slot.max_arrival_vtime + coll_cost;
   } else if (root_to_leaves(kind)) {
     done_vtime = cr == root_rel
-                     ? pr(r).vtime + coll_cost
-                     : std::max(pr(r).vtime,
+                     ? pr(r).vt() + coll_cost
+                     : std::max(pr(r).vt(),
                                 slot.root_arrival_vtime + coll_cost);
   } else {  // leaves_to_root
     done_vtime = cr == root_rel ? slot.max_arrival_vtime + coll_cost
-                                : pr(r).vtime + coll_cost;
+                                : pr(r).vt() + coll_cost;
   }
-  pr(r).vtime = std::max(pr(r).vtime, done_vtime);
+  pr(r).vt_floor(done_vtime);
 
   // Extract user-visible results.
+  BufferPool& bufs = pr(r).buf_pool;
   CollUserResult result;
   switch (kind) {
     case CollKind::kBarrier:
       break;
     case CollKind::kBcast:
       result.single =
-          buf_pool_.copy_of(slot.data[static_cast<std::size_t>(root_rel)]);
+          bufs.copy_of(slot.data[static_cast<std::size_t>(root_rel)]);
       break;
     case CollKind::kReduce:
       if (cr == root_rel) {
         if (!slot.reduced_done) {
-          slot.reduced = apply_reduce(lk, r, slot, comm_rec);
+          slot.reduced = apply_reduce(g, r, slot, comm_rec);
           slot.reduced_done = true;
         }
-        result.single = buf_pool_.copy_of(slot.reduced);
+        result.single = bufs.copy_of(slot.reduced);
       }
       break;
     case CollKind::kAllreduce:
       if (!slot.reduced_done) {
-        slot.reduced = apply_reduce(lk, r, slot, comm_rec);
+        slot.reduced = apply_reduce(g, r, slot, comm_rec);
         slot.reduced_done = true;
       }
-      result.single = buf_pool_.copy_of(slot.reduced);
+      result.single = bufs.copy_of(slot.reduced);
       break;
     case CollKind::kGather:
       if (cr == root_rel) result.multi = slot.data;
       break;
     case CollKind::kScatter: {
       const auto& slices = slot.multi[static_cast<std::size_t>(root_rel)];
-      result.single = buf_pool_.copy_of(slices[static_cast<std::size_t>(cr)]);
+      result.single = bufs.copy_of(slices[static_cast<std::size_t>(cr)]);
       break;
     }
     case CollKind::kAllgather:
@@ -1138,7 +1269,7 @@ CollUserResult Engine::collective_impl(Rank r, CollKind kind, CommId comm,
         const auto& their = slot.multi[static_cast<std::size_t>(m)];
         if (static_cast<int>(their.size()) == size) {
           result.multi[static_cast<std::size_t>(m)] =
-              buf_pool_.copy_of(their[static_cast<std::size_t>(cr)]);
+              bufs.copy_of(their[static_cast<std::size_t>(cr)]);
         }
       }
       break;
@@ -1191,13 +1322,13 @@ CollUserResult Engine::collective_impl(Rank r, CollKind kind, CommId comm,
       }
       if (slot.merged_pb_done) {
         tool_result->has_incoming = true;
-        tool_result->incoming = buf_pool_.copy_of(slot.merged_pb);
+        tool_result->incoming = bufs.copy_of(slot.merged_pb);
       }
     } else if (root_to_leaves(kind) && cr != root_rel) {
       const Bytes& root_pb = slot.pb[static_cast<std::size_t>(root_rel)];
       if (!root_pb.empty()) {
         tool_result->has_incoming = true;
-        tool_result->incoming = buf_pool_.copy_of(root_pb);
+        tool_result->incoming = bufs.copy_of(root_pb);
       }
     }
   }
@@ -1206,13 +1337,13 @@ CollUserResult Engine::collective_impl(Rank r, CollKind kind, CommId comm,
   if (slot.departed == size) {
     // The slot's scratch buffers are dead; keep their capacity so the
     // next collective round's contributions and copies do not allocate.
-    for (Bytes& b : slot.pb) buf_pool_.recycle(std::move(b));
-    for (Bytes& b : slot.data) buf_pool_.recycle(std::move(b));
+    for (Bytes& b : slot.pb) bufs.recycle(std::move(b));
+    for (Bytes& b : slot.data) bufs.recycle(std::move(b));
     for (auto& v : slot.multi) {
-      for (Bytes& b : v) buf_pool_.recycle(std::move(b));
+      for (Bytes& b : v) bufs.recycle(std::move(b));
     }
-    buf_pool_.recycle(std::move(slot.merged_pb));
-    buf_pool_.recycle(std::move(slot.reduced));
+    bufs.recycle(std::move(slot.merged_pb));
+    bufs.recycle(std::move(slot.reduced));
     coll_slots_.erase({comm, gen});
   }
   DAMPI_TEVENT(obs::EventKind::kCollective, obs::Phase::kEnd,
@@ -1239,66 +1370,72 @@ void Engine::api_comm_free(Rank r, CommId comm) {
   // MPI_Comm_free is collective over the communicator: synchronize all
   // members (all-style), then release it exactly once.
   {
-    std::unique_lock<std::mutex> lk(mu_);
-    check_abort(lk);
+    EngineGuard g(lock_, r);
+    check_abort(g);
     if (comm == kCommWorld) {
-      throw_program_error(lk, r, "cannot free MPI_COMM_WORLD");
+      throw_program_error(g, r, "cannot free MPI_COMM_WORLD");
     }
     if (!comms_.valid(comm)) {
-      throw_program_error(lk, r,
+      throw_program_error(g, r,
                           strfmt("freeing invalid communicator %d", comm));
     }
+    g.unlock();
   }
   api_collective(r, CollKind::kCommFree, comm, 0, {});
 }
 
 void Engine::api_pcontrol(Rank r, int level, const std::string& what) {
   {
-    std::unique_lock<std::mutex> lk(mu_);
-    check_abort(lk);
-    charge_op(lk, r);
+    EngineGuard g(lock_, r);
+    check_abort(g);
+    charge_op(g, r);
     stats_.bump(OpCategory::kOther, r);
-    pr(r).vtime += opts_.cost.local_op_us;
+    pr(r).vt_add(opts_.cost.local_op_us);
   }
   hooks_pcontrol(r, level, what);
 }
 
 void Engine::api_compute(Rank r, double us) {
-  std::unique_lock<std::mutex> lk(mu_);
-  check_abort(lk);
-  charge_op(lk, r);
-  pr(r).vtime += us;
+  EngineGuard g(lock_, r);
+  check_abort(g);
+  charge_op(g, r);
+  pr(r).vt_add(us);
 }
 
 void Engine::api_fail(Rank r, const std::string& message) {
-  std::unique_lock<std::mutex> lk(mu_);
-  errors_.push_back({r, message});
-  abort_all_locked();
-  lk.unlock();
+  {
+    std::lock_guard<std::mutex> vl(verdict_mu_);
+    errors_.push_back({r, message});
+  }
+  abort_all();
   throw ProgramFailure{message};
 }
 
 // ---------------------------------------------------------------------------
 // Translation / introspection
 // ---------------------------------------------------------------------------
+//
+// Comm-table writers hold *all* shards, so holding any one shard yields a
+// consistent read; these rank-less accessors pin shard 0. (Global mode:
+// shard 0 is the one mutex, preserving the old behaviour exactly.)
 
 int Engine::comm_size_of(CommId comm) {
-  std::unique_lock<std::mutex> lk(mu_);
+  EngineGuard g(lock_, Rank{0});
   return comms_.get(comm).size();
 }
 
 Rank Engine::comm_rank_of(CommId comm, Rank world) {
-  std::unique_lock<std::mutex> lk(mu_);
+  EngineGuard g(lock_, Rank{0});
   return comms_.to_rel(comm, world);
 }
 
 Rank Engine::to_world(CommId comm, Rank rel) {
-  std::unique_lock<std::mutex> lk(mu_);
+  EngineGuard g(lock_, Rank{0});
   return comms_.to_world(comm, rel);
 }
 
 Rank Engine::to_rel(CommId comm, Rank world) {
-  std::unique_lock<std::mutex> lk(mu_);
+  EngineGuard g(lock_, Rank{0});
   return comms_.to_rel(comm, world);
 }
 
@@ -1308,30 +1445,31 @@ Rank Engine::to_rel(CommId comm, Rank world) {
 
 RequestId Engine::raw_isend(Rank r, Rank dst, Tag tag, CommId comm,
                             Bytes payload) {
-  std::unique_lock<std::mutex> lk(mu_);
-  check_abort(lk);
+  EngineGuard g(lock_, r);
+  check_abort(g);
   const Rank dst_world = comms_.to_world(comm, dst);
+  g.add(dst_world);
   // Tool sends are eager and auto-consumed: piggyback senders never wait
   // on them (the paper's pb sends are waited trivially in MPI_Wait).
-  do_isend(lk, r, dst_world, tag, comm, std::move(payload), true,
+  do_isend(g, r, dst_world, tag, comm, std::move(payload), true,
            /*synchronous=*/false, nullptr);
   return kNullRequest;
 }
 
 RequestId Engine::raw_irecv(Rank r, Rank src, Tag tag, CommId comm) {
-  std::unique_lock<std::mutex> lk(mu_);
-  check_abort(lk);
+  EngineGuard g(lock_, r);
+  check_abort(g);
   const Rank src_world = comms_.to_world(comm, src);
-  return do_irecv(lk, r, src_world, tag, comm, true);
+  return do_irecv(g, r, src_world, tag, comm, true);
 }
 
 Status Engine::raw_wait(Rank r, RequestId req, Bytes* out) {
-  std::unique_lock<std::mutex> lk(mu_);
-  check_abort(lk);
+  EngineGuard g(lock_, r);
+  check_abort(g);
   DAMPI_CHECK_MSG(pr(r).reqs.find(req) != pr(r).reqs.end(),
                   "raw_wait on invalid request");
-  block_until_complete(lk, r, req);
-  return finish_request(lk, r, req, out, /*run_hooks=*/false);
+  block_until_complete(g, r, req);
+  return finish_request(g, r, req, out, /*run_hooks=*/false);
 }
 
 Status Engine::raw_recv(Rank r, Rank src, Tag tag, CommId comm, Bytes* out) {
@@ -1341,8 +1479,8 @@ Status Engine::raw_recv(Rank r, Rank src, Tag tag, CommId comm, Bytes* out) {
 
 bool Engine::raw_iprobe(Rank r, Rank src, Tag tag, CommId comm,
                         Status* status) {
-  std::unique_lock<std::mutex> lk(mu_);
-  check_abort(lk);
+  EngineGuard g(lock_, r);
+  check_abort(g);
   const Rank src_world = comms_.to_world(comm, src);
   const Envelope* env = nullptr;
   if (src_world == kAnySource) {
@@ -1356,7 +1494,7 @@ bool Engine::raw_iprobe(Rank r, Rank src, Tag tag, CommId comm,
     env = pr(r).match->find_specific(src_world, tag, comm);
   }
   if (env == nullptr) {
-    sched_->yield(lk, r);
+    sched_->yield(g, r);
     return false;
   }
   if (status != nullptr) {
@@ -1378,24 +1516,23 @@ CommId Engine::raw_comm_dup(Rank r, CommId comm) {
   CollUserResult result = collective_impl(r, CollKind::kCommDup, comm, 0, {},
                                           {}, /*tool_internal=*/true, nullptr);
   // Mark the product tool-internal (exempt from leak accounting). Every
-  // participant executes this; the flag write is idempotent.
-  std::unique_lock<std::mutex> lk(mu_);
+  // participant executes this; the flag write is idempotent. Comm-table
+  // writes take the all-shards section.
+  EngineGuard g(lock_, EngineGuard::kAllShards);
   comms_.mark_tool_internal(result.new_comm);
   return result.new_comm;
 }
 
 void Engine::add_cost(Rank r, double us) {
-  std::unique_lock<std::mutex> lk(mu_);
-  pr(r).vtime += us;
+  // Called by tools in rank r's own execution context: the clock is
+  // single-writer, so this needs no shard.
+  pr(r).vt_add(us);
 }
 
-double Engine::vtime_of(Rank r) {
-  std::unique_lock<std::mutex> lk(mu_);
-  return pr(r).vtime;
-}
+double Engine::vtime_of(Rank r) { return pr(r).vt(); }
 
 // ---------------------------------------------------------------------------
-// Tool hook dispatch (lock not held)
+// Tool hook dispatch (no shards held: hooks may re-enter)
 // ---------------------------------------------------------------------------
 
 void Engine::hooks_init(Rank r) {

@@ -1,6 +1,14 @@
 // Engine: internal implementation of the mpism runtime.
 //
-// All state is guarded by one global mutex. How ranks execute — one OS
+// Shared state is guarded by an EngineLock (engine_lock.hpp): either one
+// global mutex (the pre-shard baseline, --engine-lock global) or
+// per-destination-rank shards (the default). Under sharding, everything
+// owned by rank r — its match index, unexpected/posted queues, request
+// table, pools, virtual clock, and block/wake bookkeeping — lives behind
+// shard r; a send acquires the {sender, receiver} shard pair in
+// ascending order; collectives, communicator management, and the
+// count-based deadlock scan take all shards (ascending); verdict flags,
+// counters, and id assignment are atomics. How ranks execute — one OS
 // thread each, or cooperative fibers multiplexed run-to-block onto the
 // calling thread — is delegated to a pluggable RankScheduler
 // (mpism/scheduler.hpp); the engine only tells it when a rank blocks and
@@ -12,6 +20,7 @@
 // exact deadlock criterion.
 #pragma once
 
+#include <atomic>
 #include <deque>
 #include <map>
 #include <memory>
@@ -22,6 +31,7 @@
 #include <vector>
 
 #include "mpism/comm.hpp"
+#include "mpism/engine_lock.hpp"
 #include "mpism/envelope.hpp"
 #include "mpism/match_index.hpp"
 #include "mpism/pool.hpp"
@@ -114,7 +124,15 @@ class Engine {
   enum class BlockKind { kNone, kWait, kProbe, kColl };
 
   struct PerRank {
-    double vtime = 0.0;
+    /// Pools are declared before the request table and match index so
+    /// they outlive the structures that release into them at teardown.
+    /// Owned by this rank's shard (every access holds it).
+    SlabPool<RequestRecord> req_pool;
+    BufferPool buf_pool;
+    /// Virtual clock. Single-writer (the owning rank, under its shard);
+    /// read cross-shard by budget charges and the final report, so it is
+    /// atomic with relaxed ordering.
+    std::atomic<double> vtime{0.0};
     bool finished = false;
     bool blocked = false;
     BlockKind block_kind = BlockKind::kNone;
@@ -132,8 +150,18 @@ class Engine {
     std::vector<MatchCandidate> cand_buf;
     std::unordered_map<RequestId, PoolPtr<RequestRecord>> reqs;
     std::unordered_map<CommId, std::uint64_t> coll_gen;
+    /// Per-(dst, comm) send sequence counters, owned by the *sender*
+    /// shard (key packs dst and comm).
+    std::unordered_map<std::uint64_t, std::uint64_t> seq_counters;
     std::vector<std::unique_ptr<ToolLayer>> tools;
     std::unique_ptr<ToolCtx> ctx;
+
+    double vt() const { return vtime.load(std::memory_order_relaxed); }
+    void vt_store(double v) { vtime.store(v, std::memory_order_relaxed); }
+    void vt_add(double us) { vt_store(vt() + us); }
+    void vt_floor(double v) {
+      if (v > vt()) vt_store(v);
+    }
   };
 
   struct CollSlot {
@@ -161,51 +189,61 @@ class Engine {
     CommId dup_comm = kCommNull;
   };
 
-  // Internal primitives; all assume `lk` holds mu_.
-  RequestId do_isend(std::unique_lock<std::mutex>& lk, Rank r, Rank dst_world,
-                     Tag tag, CommId comm, Bytes payload, bool tool_internal,
+  // Internal primitives; `g` must cover the shards named per method (at
+  // minimum shard r; do_isend additionally dst_world; collective paths
+  // hold all shards).
+  RequestId do_isend(EngineGuard& g, Rank r, Rank dst_world, Tag tag,
+                     CommId comm, Bytes payload, bool tool_internal,
                      bool synchronous, SendInfo* info);
-  RequestId do_irecv(std::unique_lock<std::mutex>& lk, Rank r, Rank src_world,
-                     Tag tag, CommId comm, bool tool_internal);
+  RequestId do_irecv(EngineGuard& g, Rank r, Rank src_world, Tag tag,
+                     CommId comm, bool tool_internal);
   /// Blocks until `req` completes; does not consume.
-  void block_until_complete(std::unique_lock<std::mutex>& lk, Rank r,
-                            RequestId req);
-  /// Runs post_wait hooks (lock dropped) and consumes the request.
-  Status finish_request(std::unique_lock<std::mutex>& lk, Rank r,
-                        RequestId req, Bytes* out, bool run_hooks);
-  /// Try to match a newly arrived envelope against r's posted receives.
-  /// Returns true when matched (request completed).
+  void block_until_complete(EngineGuard& g, Rank r, RequestId req);
+  /// Runs post_wait hooks (guard dropped) and consumes the request.
+  Status finish_request(EngineGuard& g, Rank r, RequestId req, Bytes* out,
+                        bool run_hooks);
+  /// Try to match a newly arrived envelope against dst's posted receives
+  /// (guard must cover shard dst). Returns true when matched (request
+  /// completed).
   bool match_arrival(Rank dst, Envelope&& env);
   void complete_recv(Rank r, RequestRecord& rec, Envelope&& env);
-  /// Fresh pooled request record (engine-wide slab pool).
-  PoolPtr<RequestRecord> new_request();
+  /// Fresh pooled request record from r's slab (shard r held).
+  PoolPtr<RequestRecord> new_request(PerRank& me);
 
   /// Enter the blocked state and wait for `pred`; throws AbortRun when the
   /// run aborts or deadlocks while waiting.
   template <typename Pred>
-  void blocking_wait(std::unique_lock<std::mutex>& lk, Rank r, BlockKind kind,
-                     std::string desc, Pred pred);
-  /// Called with the lock held right before a rank would block; if every
-  /// other live rank is already blocked, declares a deadlock. A no-op
-  /// under schedulers that detect stalls themselves (coop): there a rank
-  /// can be runnable-but-unscheduled, which this count-based check
-  /// cannot see, so the scheduler's no-candidate scan is authoritative.
-  void maybe_declare_deadlock(Rank r);
-  void declare_deadlock_locked();
+  void blocking_wait(EngineGuard& g, Rank r, BlockKind kind, std::string desc,
+                     Pred pred);
+  /// Called right before a rank would block (or after it finishes); if
+  /// every other live rank is already blocked, declares a deadlock.
+  /// Escalates `g` to all shards for the scan (dropping and retaking it
+  /// when it holds fewer). A no-op under schedulers that detect stalls
+  /// themselves (coop): there a rank can be runnable-but-unscheduled,
+  /// which this count-based check cannot see, so the scheduler's
+  /// no-candidate scan is authoritative.
+  void maybe_declare_deadlock(EngineGuard& g, Rank r);
+  /// Declares the deadlock verdict; `g` must hold all shards.
+  void declare_deadlock(EngineGuard& g);
   /// Watchdog verdict: a per-run budget expired. Idempotent; loses to an
-  /// already-declared abort/deadlock. Lock must be held.
-  void declare_timeout_locked(std::string reason);
-  /// Budget accounting at MPI-call entry (lock held): counts the op,
+  /// already-declared abort/deadlock. Takes the verdict mutex itself;
+  /// callable with or without shards held.
+  void declare_timeout(std::string reason);
+  /// Budget accounting at MPI-call entry (shard r held): counts the op,
   /// checks the op/vtime/wall budgets, and unwinds via AbortRun when one
   /// expired. A single predicted-false branch when no budget is armed;
   /// the wall-clock read is amortized over a 32-op stride.
-  void charge_op(std::unique_lock<std::mutex>& lk, Rank r);
-  void abort_all_locked();
-  [[noreturn]] void throw_program_error(std::unique_lock<std::mutex>& lk,
-                                        Rank r, const std::string& message);
-  void check_abort(std::unique_lock<std::mutex>& lk);
+  void charge_op(EngineGuard& g, Rank r);
+  void abort_all();
+  [[noreturn]] void throw_program_error(EngineGuard& g, Rank r,
+                                        const std::string& message);
+  void check_abort(EngineGuard& g);
+  bool stopped() const {
+    return aborted_.load(std::memory_order_acquire) ||
+           deadlocked_.load(std::memory_order_acquire);
+  }
 
-  // Tool hook dispatch (lock must NOT be held: hooks may re-enter).
+  // Tool hook dispatch (no shards held: hooks may re-enter).
   void hooks_init(Rank r);
   void hooks_finalize(Rank r);
   void hooks_pre_isend(Rank r, SendCall& call);
@@ -229,12 +267,11 @@ class Engine {
                                  CollResult* tool_result);
   void compute_slot_results(CollSlot& slot, const CommRecord& comm_rec,
                             CollKind kind);
-  Bytes apply_reduce(std::unique_lock<std::mutex>& lk, Rank r,
-                     const CollSlot& slot, const CommRecord& comm_rec);
+  Bytes apply_reduce(EngineGuard& g, Rank r, const CollSlot& slot,
+                     const CommRecord& comm_rec);
 
-  void validate_comm_member(std::unique_lock<std::mutex>& lk, Rank r,
-                            CommId comm);
-  std::uint64_t& seq_counter(Rank src, Rank dst, CommId comm);
+  void validate_comm_member(EngineGuard& g, Rank r, CommId comm);
+  std::uint64_t& seq_counter(PerRank& sender, Rank dst, CommId comm);
 
   PerRank& pr(Rank r) { return *ranks_[static_cast<std::size_t>(r)]; }
 
@@ -244,36 +281,46 @@ class Engine {
   void rank_body(Rank r, const ProgramFn& program);
 
   RunOptions opts_;
-  std::mutex mu_;
+  EngineLock lock_;
   std::unique_ptr<RankScheduler> sched_;
-  /// Pools are declared before ranks_ so they outlive the request tables
-  /// and match indexes that release into them during teardown.
-  SlabPool<RequestRecord> req_pool_;
-  BufferPool buf_pool_;
   std::vector<std::unique_ptr<PerRank>> ranks_;
+  /// Guarded by all-shards sections for writes; readers hold any shard
+  /// (writers exclude them by holding every shard).
   CommTable comms_;
+  /// choose() mutates the policy RNG; serialized by a leaf mutex so
+  /// wildcard draws stay well-defined under sharded locking.
+  std::mutex policy_mu_;
   std::unique_ptr<MatchPolicy> policy_;
+  /// Collective bookkeeping: only touched under all-shards sections.
   std::map<std::pair<CommId, std::uint64_t>, CollSlot> coll_slots_;
-  std::unordered_map<std::uint64_t, std::uint64_t> seq_counters_;
-  std::uint64_t next_msg_id_ = 1;
-  RequestId next_req_id_ = 1;
+  std::atomic<std::uint64_t> next_msg_id_{1};
+  std::atomic<RequestId> next_req_id_{1};
 
-  int blocked_count_ = 0;
-  int finished_count_ = 0;
-  bool aborted_ = false;
-  bool deadlocked_ = false;
-  bool timed_out_ = false;
-  bool cancelled_ = false;
+  std::atomic<int> blocked_count_{0};
+  std::atomic<int> finished_count_{0};
+  std::atomic<bool> aborted_{false};
+  std::atomic<bool> deadlocked_{false};
+  std::atomic<bool> timed_out_{false};
+  std::atomic<bool> cancelled_{false};
+  /// Leaf mutex (ordered after all shards) guarding the verdict strings
+  /// and one-winner arbitration between deadlock/timeout/cancel/error.
+  std::mutex verdict_mu_;
   std::string stop_reason_;
+  std::string deadlock_detail_;
+  std::vector<ErrorInfo> errors_;
   bool budgets_armed_ = false;
   bool has_wall_deadline_ = false;
   std::chrono::steady_clock::time_point run_deadline_{};
-  std::uint64_t ops_executed_ = 0;
-  std::string deadlock_detail_;
-  std::vector<ErrorInfo> errors_;
-  std::uint64_t messages_sent_ = 0;
-  std::uint64_t request_leaks_ = 0;
+  std::atomic<std::uint64_t> ops_executed_{0};
+  std::atomic<std::uint64_t> messages_sent_{0};
+  std::atomic<std::uint64_t> tool_messages_{0};
+  std::atomic<std::uint64_t> request_leaks_{0};
+  /// Per-rank slots are written under the owning rank's shard; the
+  /// tool-message total lives in tool_messages_ above (cross-rank).
   OpStats stats_;
+  /// Envelope small-buffer counters (published as engine.envelope.*).
+  std::atomic<std::uint64_t> payload_inline_hits_{0};
+  std::atomic<std::uint64_t> payload_heap_spills_{0};
 
   friend class ToolCtxImpl;
 };

@@ -10,10 +10,11 @@
 // engine (unextracted receives) — capacity is retained and handed back
 // to the next engine-internal copy.
 //
-// Thread safety: none. Every pool here is guarded by the engine's
-// global mutex, exactly like the structures it feeds. Stats are plain
-// integers for the same reason; the engine publishes them to the
-// obs::Registry (`engine.pool.*`) once per run.
+// Thread safety: none. Pools are per-rank in the engine and guarded by
+// that rank's lock shard (or the global engine mutex in --engine-lock
+// global mode), exactly like the structures they feed. Stats are plain
+// integers for the same reason; the engine aggregates them across ranks
+// and publishes to the obs::Registry (`engine.pool.*`) once per run.
 #pragma once
 
 #include <cstddef>
@@ -146,6 +147,14 @@ class BufferPool {
   Bytes copy_of(const Bytes& src) {
     Bytes out = acquire();
     out.assign(src.begin(), src.end());
+    return out;
+  }
+
+  /// Copy a raw byte range (e.g. a Payload's inline store) into a
+  /// (possibly recycled) buffer.
+  Bytes copy_of(const std::byte* src, std::size_t n) {
+    Bytes out = acquire();
+    out.assign(src, src + n);
     return out;
   }
 

@@ -1,6 +1,7 @@
 // Request records for nonblocking operations.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 #include "mpism/envelope.hpp"
@@ -25,8 +26,11 @@ struct RequestRecord {
   CommId comm = kCommWorld;
 
   /// True once matched (recv) / injected (send). Eager sends complete at
-  /// creation time.
-  bool complete = false;
+  /// creation time. Atomic because under sharded locking a synchronous
+  /// send completes *cross-shard*: the receiver publishes completion
+  /// through Envelope::sender_rec (store-release) without holding the
+  /// sender's shard, and the sender's wake predicate load-acquires it.
+  std::atomic<bool> complete{false};
   /// True once consumed by wait/test; consumed requests are removed from
   /// the table (leak accounting counts unconsumed ones at finalize).
   bool consumed = false;
@@ -39,8 +43,9 @@ struct RequestRecord {
 
   /// Virtual time at which the operation completed remotely (synchronous
   /// sends: when the matching receive released it, plus the ack
-  /// latency). 0 for operations that complete locally.
-  double complete_vtime = 0.0;
+  /// latency). 0 for operations that complete locally. Written before
+  /// the `complete` release-store; read after its acquire-load.
+  std::atomic<double> complete_vtime{0.0};
 
   /// Virtual time at which the operation was posted.
   double post_vtime = 0.0;

@@ -3,8 +3,10 @@
 #include <ucontext.h>
 
 #include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <cstdlib>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -34,24 +36,42 @@ namespace dampi::mpism {
 namespace {
 
 // ---------------------------------------------------------------------------
-// ThreadScheduler: one OS thread per rank, per-rank condition variables
+// ThreadScheduler: one OS thread per rank, per-rank eventcount waiters
 // (the engine's original execution model, kept for differential testing
 // and for sanitized builds).
+//
+// The park/wake protocol is an eventcount rather than a cv-on-the-engine
+// -mutex because the engine mutex may be *sharded*: a waker completing a
+// rendezvous or declaring a verdict publishes through atomics without
+// holding the sleeper's shard, so the sleeper cannot rely on "predicate
+// flips happen under my lock". Instead each rank has {mutex, cv, gen}:
+//
+//   parker:  check pred (guard held) → snapshot gen (waiter mutex) →
+//            re-check pred → drop guard → wait until gen != snapshot →
+//            retake guard → loop
+//   waker:   { lock waiter mutex; ++gen; } notify_all()
+//
+// The post-snapshot re-check closes the race with atomic-published
+// state: if the waker bumped gen before our snapshot, the waiter-mutex
+// acquire synchronizes-with its release, making the published state
+// visible to the re-check; if it bumps after, the wait observes the gen
+// change. Shard-published state is simpler still — the waker needs our
+// shard, which we hold until the park actually drops it.
 // ---------------------------------------------------------------------------
 
 class ThreadScheduler final : public RankScheduler {
  public:
   explicit ThreadScheduler(int nprocs)
       : nprocs_(nprocs),
-        cvs_(std::make_unique<std::condition_variable[]>(
-            static_cast<std::size_t>(nprocs))) {}
+        waiters_(std::make_unique<Waiter[]>(static_cast<std::size_t>(nprocs))) {
+  }
 
-  void run(std::mutex&, const Callbacks& cb) override {
+  void run(const Callbacks& cb) override {
     cb_ = &cb;
     std::vector<std::thread> threads;
     threads.reserve(static_cast<std::size_t>(nprocs_));
     for (Rank r = 0; r < nprocs_; ++r) {
-      threads.emplace_back([this, r, &cb] {
+      threads.emplace_back([r, &cb] {
         log::set_thread_rank(r);
         DAMPI_TRACE_THREAD_LANE(strfmt("rank %d", r));
         cb.body(r);
@@ -60,34 +80,58 @@ class ThreadScheduler final : public RankScheduler {
     for (auto& t : threads) t.join();
   }
 
-  void block(std::unique_lock<std::mutex>& lk, Rank r) override {
-    std::condition_variable& cv = cvs_[static_cast<std::size_t>(r)];
-    const auto pred = [this, r] { return cb_->wake_ready(r) || cb_->stop(); };
+  void block(EngineGuard& g, Rank r) override {
+    Waiter& w = waiters_[static_cast<std::size_t>(r)];
     // An untimed wait is enough even for deadline-armed runs: a parked
     // rank never has to notice the deadline itself. If any peer is still
     // issuing ops, its budget charge declares the timeout within a
     // 32-op stride and the abort wakes everyone here via stop(); if no
     // peer is, the stall detector declares deadlock. Timed waits cost
     // ~150ns each on the message critical path, so they stay out of it.
-    cv.wait(lk, pred);
+    for (;;) {
+      if (cb_->wake_ready(r) || cb_->stop()) return;
+      std::uint64_t gen;
+      {
+        std::lock_guard<std::mutex> wl(w.mu);
+        gen = w.gen;
+      }
+      // Re-check after the snapshot: a waker that bumped gen first has
+      // its published state made visible by the w.mu acquire above.
+      if (cb_->wake_ready(r) || cb_->stop()) return;
+      g.unlock();
+      {
+        std::unique_lock<std::mutex> wl(w.mu);
+        w.cv.wait(wl, [&w, gen] { return w.gen != gen; });
+      }
+      g.lock();
+    }
   }
 
   void wake(Rank r) override {
-    cvs_[static_cast<std::size_t>(r)].notify_all();
+    Waiter& w = waiters_[static_cast<std::size_t>(r)];
+    {
+      std::lock_guard<std::mutex> wl(w.mu);
+      ++w.gen;
+    }
+    w.cv.notify_all();
   }
 
   void wake_all() override {
-    for (Rank r = 0; r < nprocs_; ++r) {
-      cvs_[static_cast<std::size_t>(r)].notify_all();
-    }
+    for (Rank r = 0; r < nprocs_; ++r) wake(r);
   }
 
   bool detects_stall() const override { return false; }
   const char* name() const override { return "thread"; }
 
  private:
+  struct alignas(64) Waiter {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::uint64_t gen = 0;
+  };
+
   int nprocs_;
-  std::unique_ptr<std::condition_variable[]> cvs_;
+  std::unique_ptr<Waiter[]> waiters_;
   const Callbacks* cb_ = nullptr;
 };
 
@@ -98,6 +142,12 @@ class ThreadScheduler final : public RankScheduler {
 // next runnable rank. Everything the policy consumes — fiber states,
 // wake hints, predicate results — is a deterministic function of program
 // behaviour, so a (policy, seed) pair fixes the entire interleaving.
+//
+// The dispatch loop runs without any engine lock: fibers and the loop
+// share one OS thread, so rank state reads race only with external
+// cancellation — which publishes through atomics by contract. Fibers
+// release their engine guard before swapping back (block/yield) and
+// retake it on resume.
 // ---------------------------------------------------------------------------
 
 class CoopScheduler final : public RankScheduler {
@@ -125,7 +175,7 @@ class CoopScheduler final : public RankScheduler {
     }
   }
 
-  void run(std::mutex& mu, const Callbacks& cb) override {
+  void run(const Callbacks& cb) override {
     cb_ = &cb;
     if (obs::trace_on()) {
       for (Rank r = 0; r < nprocs_; ++r) {
@@ -136,24 +186,21 @@ class CoopScheduler final : public RankScheduler {
     std::uint64_t switches = 0;
     const bool has_deadline =
         cb.deadline != std::chrono::steady_clock::time_point{};
-    {
-      std::unique_lock<std::mutex> lk(mu);
-      while (finished_ < nprocs_) {
-        // Run-to-block execution has exactly one preemption point — this
-        // dispatch loop — so the per-run deadline is checked here. This
-        // is what catches a livelocked spinner that only ever yields
-        // (never blocks): every yield funnels back through this loop.
-        // The clock read is amortized over 64 dispatches; a spinner
-        // cycles through here fast enough that the slack is microseconds.
-        if (has_deadline && (switches & 63) == 0 && !cb.stop() &&
-            std::chrono::steady_clock::now() >= cb.deadline) {
-          cb.on_deadline();
-        }
-        const Rank r = pick();
-        DAMPI_CHECK_MSG(r >= 0, "coop scheduler: no dispatchable rank");
-        dispatch(lk, r);
-        ++switches;
+    while (finished_ < nprocs_) {
+      // Run-to-block execution has exactly one preemption point — this
+      // dispatch loop — so the per-run deadline is checked here. This
+      // is what catches a livelocked spinner that only ever yields
+      // (never blocks): every yield funnels back through this loop.
+      // The clock read is amortized over 64 dispatches; a spinner
+      // cycles through here fast enough that the slack is microseconds.
+      if (has_deadline && (switches & 63) == 0 && !cb.stop() &&
+          std::chrono::steady_clock::now() >= cb.deadline) {
+        cb.on_deadline();
       }
+      const Rank r = pick();
+      DAMPI_CHECK_MSG(r >= 0, "coop scheduler: no dispatchable rank");
+      dispatch(r);
+      ++switches;
     }
     for (Fiber& f : fibers_) {
       if (f.lane != nullptr) {
@@ -172,33 +219,34 @@ class CoopScheduler final : public RankScheduler {
     stalls_metric.add(stalls_);
   }
 
-  void block(std::unique_lock<std::mutex>& lk, Rank r) override {
+  void block(EngineGuard& g, Rank r) override {
     Fiber& f = fibers_[static_cast<std::size_t>(r)];
     while (!(cb_->wake_ready(r) || cb_->stop())) {
       f.state = State::kBlocked;
-      // The scheduler loop owns the lock across dispatches; a fiber must
-      // hand it back before swapping or the (single) host thread would
-      // self-deadlock reacquiring it.
-      lk.unlock();
+      // The fiber must release its engine guard before swapping: the
+      // next dispatched rank may need the same shard, and it runs on
+      // this very OS thread.
+      g.unlock();
       swapcontext(&f.ctx, &sched_ctx_);
-      lk.lock();
+      g.lock();
     }
   }
 
-  void yield(std::unique_lock<std::mutex>& lk, Rank r) override {
+  void yield(EngineGuard& g, Rank r) override {
     Fiber& f = fibers_[static_cast<std::size_t>(r)];
     f.state = State::kYielded;
-    lk.unlock();
+    g.unlock();
     swapcontext(&f.ctx, &sched_ctx_);
-    lk.lock();
+    g.lock();
   }
 
   void wake(Rank r) override {
-    fibers_[static_cast<std::size_t>(r)].hint = true;
+    fibers_[static_cast<std::size_t>(r)].hint.store(
+        true, std::memory_order_relaxed);
   }
 
   void wake_all() override {
-    for (Fiber& f : fibers_) f.hint = true;
+    for (Fiber& f : fibers_) f.hint.store(true, std::memory_order_relaxed);
   }
 
   bool detects_stall() const override { return true; }
@@ -219,22 +267,23 @@ class CoopScheduler final : public RankScheduler {
     State state = State::kUnstarted;
     /// Wake-hint: a wake() targeted this rank since it last ran. Purely
     /// an optimization — candidates are re-validated against the wake
-    /// predicate, and an empty hinted set triggers a full scan.
-    bool hint = false;
+    /// predicate, and an empty hinted set triggers a full scan. Atomic
+    /// because external cancellation calls wake_all from its own thread.
+    std::atomic<bool> hint{false};
     std::unique_ptr<char[]> stack;
     ucontext_t ctx = {};
     obs::Lane* lane = nullptr;
   };
 
-  /// Selects the next rank to dispatch (engine mutex held), declaring a
-  /// stall first if nothing is runnable. Returns -1 only when every
-  /// rank has finished (the run loop exits before asking again).
+  /// Selects the next rank to dispatch, declaring a stall first if
+  /// nothing is runnable. Returns -1 only when every rank has finished
+  /// (the run loop exits before asking again).
   Rank pick() {
     candidates_.clear();
     const bool stopping = cb_->stop();
     bool any_unfinished = false;
     for (Rank r = 0; r < nprocs_; ++r) {
-      const Fiber& f = fibers_[static_cast<std::size_t>(r)];
+      Fiber& f = fibers_[static_cast<std::size_t>(r)];
       if (f.state == State::kFinished) continue;
       any_unfinished = true;
       if (stopping || f.state == State::kUnstarted ||
@@ -243,7 +292,8 @@ class CoopScheduler final : public RankScheduler {
         // abort and unwind; unstarted and poll-yielded ranks are always
         // runnable.
         candidates_.push_back(r);
-      } else if (f.hint && cb_->wake_ready(r)) {
+      } else if (f.hint.load(std::memory_order_relaxed) &&
+                 cb_->wake_ready(r)) {
         candidates_.push_back(r);
       }
     }
@@ -307,13 +357,12 @@ class CoopScheduler final : public RankScheduler {
     return candidates_.front();
   }
 
-  void dispatch(std::unique_lock<std::mutex>& lk, Rank r) {
+  void dispatch(Rank r) {
     Fiber& f = fibers_[static_cast<std::size_t>(r)];
-    f.hint = false;
+    f.hint.store(false, std::memory_order_relaxed);
     if (f.state == State::kUnstarted) prepare_fiber(f);
     f.state = State::kRunning;
     current_ = r;
-    lk.unlock();
     DAMPI_TEVENT(obs::EventKind::kSchedSwitch, obs::Phase::kBegin, r);
     const int host_rank = log::thread_rank();
     log::set_thread_rank(r);
@@ -324,7 +373,6 @@ class CoopScheduler final : public RankScheduler {
     log::set_thread_rank(host_rank);
     DAMPI_TEVENT(obs::EventKind::kSchedSwitch, obs::Phase::kEnd, r);
     current_ = -1;
-    lk.lock();
   }
 
   void prepare_fiber(Fiber& f) {

@@ -15,14 +15,22 @@
 //    run-to-block discipline of centralized-scheduler verifiers (ISP,
 //    MPI-SV) applied to the paper's eager-matching simulator.
 //
-// Contract: the engine owns one mutex; `block` is called by a rank with
-// that mutex held and returns with it held once `wake_ready(rank)` or
-// `stop()` is true. `wake`/`wake_all` are called with the mutex held and
-// are hints — a scheduler may wake spuriously but must never lose a
-// wakeup. Under the coop scheduler a stall (no runnable rank, not all
-// finished) is reported through `on_stall` with the mutex held; with
-// eager matching this is an exact deadlock criterion, replacing the
-// engine's own count-based check (see Engine::maybe_declare_deadlock).
+// Contract: the engine's state is guarded by an EngineLock (one global
+// mutex, or per-rank shards — see engine_lock.hpp). `block`/`yield` are
+// called by a rank holding an EngineGuard over its state and return with
+// the same guard held once `wake_ready(rank)` or `stop()` is true; the
+// scheduler releases and reacquires the guard around the actual park.
+// `wake`/`wake_all` may be called from any thread, with or without
+// shards held (they only touch scheduler-internal leaf state), and are
+// hints — a scheduler may wake spuriously but must never lose a wakeup.
+// `wake_ready(r)` is only ever evaluated by rank r itself under its own
+// guard (ThreadScheduler) or by the single dispatch thread
+// (CoopScheduler), so the predicate reads rank-r state race-free. Under
+// the coop scheduler a stall (no runnable rank, not all finished) is
+// reported through `on_stall`, which must acquire whatever engine locks
+// it needs itself; with eager matching this is an exact deadlock
+// criterion, replacing the engine's own count-based check (see
+// Engine::maybe_declare_deadlock).
 #pragma once
 
 #include <chrono>
@@ -30,9 +38,9 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "mpism/engine_lock.hpp"
 #include "mpism/types.hpp"
 
 namespace dampi::mpism {
@@ -55,8 +63,10 @@ struct SchedOptions {
 
 class RankScheduler {
  public:
-  /// Engine-provided hooks. All except `body` are invoked with the
-  /// engine mutex held.
+  /// Engine-provided hooks. See the locking contract in the header
+  /// comment: wake_ready(r) is evaluated only by rank r (under its
+  /// guard) or by the coop dispatch thread; stop() reads only atomics;
+  /// on_stall/on_deadline acquire their own engine locks.
   struct Callbacks {
     /// Runs one rank's program instance to completion; must not throw
     /// (the engine catches everything inside).
@@ -64,9 +74,12 @@ class RankScheduler {
     /// True when the blocked rank's wake predicate holds.
     std::function<bool(Rank)> wake_ready;
     /// True once the run is aborting or deadlocked: every parked rank
-    /// must be released so it can unwind.
+    /// must be released so it can unwind. Reads only atomics — callable
+    /// from any thread without locks.
     std::function<bool()> stop;
     /// No rank is runnable and not all have finished (coop only).
+    /// Called lock-free; acquires what it needs and must make stop()
+    /// true.
     std::function<void()> on_stall;
     /// Wall-clock deadline for the whole run; the epoch time_point (the
     /// default) means unarmed. CoopScheduler checks it in its dispatch
@@ -74,32 +87,34 @@ class RankScheduler {
     /// yield-looping spinner, whose yields never pass through the
     /// engine's blocking paths. ThreadScheduler ignores it: a parked
     /// rank is released by stop() when a peer's per-op budget charge or
-    /// the stall detector declares the verdict, so its cv waits stay
+    /// the stall detector declares the verdict, so its waits stay
     /// untimed and off the message critical path.
     std::chrono::steady_clock::time_point deadline{};
-    /// Invoked with the engine mutex held when `deadline` has passed
-    /// and the run has not stopped. Must be idempotent and must make
-    /// stop() true.
+    /// Invoked lock-free when `deadline` has passed and the run has not
+    /// stopped. Must be idempotent and must make stop() true.
     std::function<void()> on_deadline;
   };
 
   virtual ~RankScheduler() = default;
 
   /// Executes `body` for ranks 0..nprocs-1; returns when all finished.
-  virtual void run(std::mutex& mu, const Callbacks& cb) = 0;
-  /// Parks the calling rank until wake_ready(r) or stop(). `lk` holds
-  /// the engine mutex on entry and on return.
-  virtual void block(std::unique_lock<std::mutex>& lk, Rank r) = 0;
+  virtual void run(const Callbacks& cb) = 0;
+  /// Parks the calling rank until wake_ready(r) or stop(). `g` holds
+  /// the rank's engine guard on entry and on return; the scheduler
+  /// releases it while parked.
+  virtual void block(EngineGuard& g, Rank r) = 0;
   /// Cedes the processor without blocking: the rank stays runnable and
   /// will be rescheduled per policy. Called when a non-blocking poll
   /// (test*/iprobe) observes "not ready" — under run-to-block execution
   /// a busy-poll loop would otherwise starve every other rank forever.
   /// No-op for preemptive schedulers.
-  virtual void yield(std::unique_lock<std::mutex>& lk, Rank r) {
-    (void)lk;
+  virtual void yield(EngineGuard& g, Rank r) {
+    (void)g;
     (void)r;
   }
-  /// Hints that r's wake predicate may have flipped (engine mutex held).
+  /// Hints that r's wake predicate may have flipped. Callable from any
+  /// thread; takes only scheduler-leaf locks, so it is safe (and usual)
+  /// to call while holding engine shards.
   virtual void wake(Rank r) = 0;
   virtual void wake_all() = 0;
   /// True when this scheduler performs its own stall (deadlock)
