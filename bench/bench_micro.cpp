@@ -3,7 +3,11 @@
 // wildcard matching, and instrumented vs native per-message wall cost.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <map>
+
 #include "clocks/lamport.hpp"
+#include "core/decision.hpp"
 #include "clocks/vector_clock.hpp"
 #include "core/dampi_layer.hpp"
 #include "mpism/runtime.hpp"
@@ -48,6 +52,44 @@ void BM_VectorClockCompare(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_VectorClockCompare)->Arg(8)->Arg(64)->Arg(512);
+
+/// The schedule-lookup hot path: every wildcard completion queries the
+/// forced-decision map. Storage is a sorted flat vector (cache-dense
+/// binary search); the std::map baseline is timed alongside to keep the
+/// replacement honest.
+void BM_ScheduleLookupFlat(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  core::ForcedDecisions forced;
+  for (int i = 0; i < n; ++i) {
+    forced[core::EpochKey{i % 7, static_cast<std::uint64_t>(i)}] = i % 3;
+  }
+  core::Schedule schedule;
+  schedule.forced = forced;
+  int probe = 0;
+  for (auto _ : state) {
+    const core::EpochKey key{probe % 7, static_cast<std::uint64_t>(probe)};
+    benchmark::DoNotOptimize(schedule.lookup(key));
+    probe = (probe + 1) % (n + 1);  // n+1: one miss per cycle
+  }
+}
+BENCHMARK(BM_ScheduleLookupFlat)->Arg(4)->Arg(32)->Arg(256);
+
+void BM_ScheduleLookupMapBaseline(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::map<core::EpochKey, mpism::Rank> forced;
+  for (int i = 0; i < n; ++i) {
+    forced[core::EpochKey{i % 7, static_cast<std::uint64_t>(i)}] = i % 3;
+  }
+  int probe = 0;
+  for (auto _ : state) {
+    const core::EpochKey key{probe % 7, static_cast<std::uint64_t>(probe)};
+    const auto it = forced.find(key);
+    benchmark::DoNotOptimize(it == forced.end() ? mpism::kAnySource
+                                                : it->second);
+    probe = (probe + 1) % (n + 1);
+  }
+}
+BENCHMARK(BM_ScheduleLookupMapBaseline)->Arg(4)->Arg(32)->Arg(256);
 
 /// Wall cost of a full 2-rank run: thread spawn + N ping-pong rounds.
 void BM_RuntimePingPong(benchmark::State& state) {

@@ -54,6 +54,9 @@ std::map<std::string, mpism::ProgramFn> program_registry() {
   programs["dist-fanout"] = [](mpism::Proc& p) {
     workloads::dist_fanout(p, /*rounds=*/2, /*spin_us=*/200.0);
   };
+  programs["fan-in-groups"] = [](mpism::Proc& p) {
+    workloads::fan_in_groups(p, /*groups=*/p.size() / 3);
+  };
   programs["matmult"] = [](mpism::Proc& p) {
     workloads::MatmultConfig config;
     config.n = 8;
@@ -116,6 +119,13 @@ int usage(const char* argv0) {
       "$DAMPI_ENGINE_LOCK\n"
       "                         when set); verdicts are identical across "
       "modes\n"
+      "  --por MODE             partial-order reduction: sleep "
+      "(commuting-decision\n"
+      "                         sleep sets, default) or off (full "
+      "cross-product\n"
+      "                         baseline; $DAMPI_POR when set); same bugs "
+      "and\n"
+      "                         per-epoch outcomes in <= interleavings\n"
       "  --isp                  use the centralized ISP baseline instead\n"
       "  --save-repro FILE      write the first bug's epoch-decisions "
       "file\n"
@@ -196,6 +206,7 @@ int main(int argc, char** argv) {
   mpism::SchedOptions sched = mpism::default_sched_options();
   mpism::MatchKind match = mpism::default_match_kind();
   mpism::EngineLockKind engine_lock = mpism::default_engine_lock_kind();
+  core::PorMode por = core::default_por_mode();
   bool use_isp = false;
   std::string save_repro_path;
   std::string replay_path;
@@ -284,6 +295,13 @@ int main(int argc, char** argv) {
       if (v == nullptr) return usage(argv[0]);
       if (!mpism::parse_engine_lock_spec(v, &engine_lock)) {
         std::printf("unknown --engine-lock value: %s\n", v);
+        return usage(argv[0]);
+      }
+    } else if (arg == "--por") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      if (!core::parse_por_spec(v, &por)) {
+        std::printf("unknown --por value: %s\n", v);
         return usage(argv[0]);
       }
     } else if (arg == "--isp") {
@@ -409,6 +427,7 @@ int main(int argc, char** argv) {
   explorer_options.sched = sched;
   explorer_options.match = match;
   explorer_options.engine_lock = engine_lock;
+  explorer_options.por = por;
   explorer_options.run_deadline_seconds = run_deadline_seconds;
   explorer_options.max_run_ops = run_max_ops;
   if (max_wall_seconds > 0.0) {
@@ -604,10 +623,11 @@ int main(int argc, char** argv) {
   stop_bridge();
 
   std::printf("program                : %s (%d ranks, %s, sched %s, match "
-              "%s, lock %s)\n",
+              "%s, lock %s, por %s)\n",
               name.c_str(), procs, use_isp ? "ISP baseline" : "DAMPI",
               mpism::sched_spec(sched).c_str(), mpism::match_spec(match),
-              mpism::engine_lock_spec(engine_lock).c_str());
+              mpism::engine_lock_spec(engine_lock).c_str(),
+              core::por_spec(por));
   if (distributed) {
     std::printf(
         "distributed campaign   : %d workers (%d spawned), %llu shards "

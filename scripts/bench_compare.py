@@ -20,10 +20,17 @@ the comparison is report-only (no parallelism to unlock — a flat or
 slightly worse curve is the honest result); on multi-core, sharded
 losing to global beyond the tolerance is flagged as a regression.
 
+With --por PATH it reads the BENCH_por.json that bench_por emits and
+checks the sleep-set pruning contract: every row must be marked
+equivalent (same bug set and per-epoch outcome sets as --por off) and
+never explore more interleavings than off. The reduction ratio is
+reported per row; all-dependent workloads legitimately sit at 1.0x.
+
 Usage:
   scripts/bench_compare.py [--bench PATH] [--tolerance FRAC] [--warn-only]
   scripts/bench_compare.py --distributed BENCH_distributed.json [--warn-only]
   scripts/bench_compare.py --contention BENCH_contention.json [--warn-only]
+  scripts/bench_compare.py --por BENCH_por.json [--warn-only]
 
 Exit codes: 0 ok (or --warn-only), 1 regression, 2 cannot run bench.
 """
@@ -153,6 +160,44 @@ def check_contention(path, tolerance, warn_only):
         print("bench_compare: sharded lock holds up at every rank count")
 
 
+def check_por(path, warn_only):
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, ValueError) as err:
+        print(f"bench_compare: cannot read {path} ({err})", file=sys.stderr)
+        sys.exit(2)
+
+    rows = data.get("rows", [])
+    if not rows:
+        print("bench_compare: no POR rows", file=sys.stderr)
+        sys.exit(2)
+
+    print(f"{'workload':<20} {'off_runs':>10} {'sleep_runs':>12} "
+          f"{'pruned':>8} {'ratio':>7}  check")
+    bad = []
+    for row in rows:
+        ratio = (row["off_runs"] / row["sleep_runs"]
+                 if row["sleep_runs"] else 0.0)
+        ok = row.get("equivalent") and row["sleep_runs"] <= row["off_runs"]
+        if not ok:
+            bad.append(row["workload"])
+        print(f"{row['workload']:<20} {row['off_runs']:>10} "
+              f"{row['sleep_runs']:>12} {row['pruned']:>8} {ratio:>6.2f}x"
+              f"{'  ok' if ok else '  <-- DIVERGENT'}")
+
+    if bad:
+        print(f"bench_compare: --por sleep diverged from off on {bad} — "
+              f"pruning dropped coverage", file=sys.stderr)
+        if not warn_only:
+            sys.exit(1)
+        print("bench_compare: --warn-only set, not failing", file=sys.stderr)
+    else:
+        best = data.get("best_ratio", 0.0)
+        print(f"bench_compare: pruning sound on every workload "
+              f"(best reduction {best:.2f}x)")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -164,6 +209,11 @@ def main():
         "--contention",
         metavar="JSON",
         help="check a BENCH_contention.json instead of the matcher bench",
+    )
+    parser.add_argument(
+        "--por",
+        metavar="JSON",
+        help="check a BENCH_por.json instead of the matcher bench",
     )
     parser.add_argument(
         "--bench",
@@ -189,6 +239,10 @@ def main():
 
     if args.contention:
         check_contention(args.contention, args.tolerance, args.warn_only)
+        return
+
+    if args.por:
+        check_por(args.por, args.warn_only)
         return
 
     if not os.path.exists(args.bench):

@@ -4,7 +4,9 @@
 # also runs on the cooperative fiber scheduler, once with
 # DAMPI_MATCH=linear so every test also runs on the linear matching
 # oracle, once with DAMPI_ENGINE_LOCK=global so every test also runs on
-# the single-mutex engine baseline), the resilience stage (resil-labelled tests, the verify_cli
+# the single-mutex engine baseline, once with DAMPI_POR=off so every
+# test also runs on the unpruned cross-product walk), the resilience
+# stage (resil-labelled tests, the verify_cli
 # exit-code contract, a livelock watchdog sweep across schedulers and
 # jobs widths, and a SIGINT kill + --resume determinism smoke), a trace
 # smoke test (a real workload exported with --trace
@@ -46,6 +48,14 @@ echo "tier1: linear-matcher sweep OK"
 # identical across modes by contract.
 (cd build && DAMPI_ENGINE_LOCK=global ctest --output-on-failure -j "${jobs}")
 echo "tier1: global-engine-lock sweep OK"
+
+# And with sleep-set pruning disabled: DAMPI_POR swaps the default
+# partial-order reduction mode, so every test not pinning one reruns on
+# the full cross-product walk. Bug sets and per-epoch outcome sets are
+# identical across modes by contract (the default suite already runs
+# --por sleep, which prunes nothing without vector clocks).
+(cd build && DAMPI_POR=off ctest --output-on-failure -j "${jobs}")
+echo "tier1: por-off sweep OK"
 
 # Resilience tests on their own label, so the stage shows up by name in
 # the log even though the default sweep above already ran them.
@@ -230,6 +240,16 @@ if command -v python3 > /dev/null 2>&1; then
 fi
 echo "tier1: distributed scaling smoke OK"
 
+# POR soundness smoke: the bench exits non-zero if --por sleep ever
+# diverges from off (equivalence is the gate; the reduction ratio is
+# informational and re-printed by the compare step).
+DAMPI_BENCH_QUICK=1 DAMPI_BENCH_OUT=build/BENCH_por.json \
+  build/bench/bench_por
+if command -v python3 > /dev/null 2>&1; then
+  python3 scripts/bench_compare.py --por build/BENCH_por.json --warn-only
+fi
+echo "tier1: POR soundness smoke OK"
+
 if [[ "${1:-}" == "--skip-tsan" ]]; then
   echo "tier1: skipping ThreadSanitizer stage"
   exit 0
@@ -237,7 +257,8 @@ fi
 
 cmake -B build-tsan -S . -DDAMPI_SANITIZE=thread
 cmake --build build-tsan -j "${jobs}" \
-  --target test_explorer_parallel test_obs test_match_index test_engine_lock
+  --target test_explorer_parallel test_obs test_match_index \
+           test_engine_lock test_por
 (cd build-tsan && ctest --output-on-failure \
-  -L 'concurrency|obs|match|enginelock' -j "${jobs}")
-echo "tier1: OK (including TSan concurrency + obs + match + enginelock stage)"
+  -L 'concurrency|obs|match|enginelock|por' -j "${jobs}")
+echo "tier1: OK (including TSan concurrency + obs + match + enginelock + por stage)"

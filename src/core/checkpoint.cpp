@@ -36,6 +36,128 @@ std::string rest_of_line(const std::string& line, std::size_t keyword_len) {
   return line.substr(keyword_len + 1);
 }
 
+/// One frame line under `keyword` ("frame" for the live stack, "pframe"
+/// for harvested pending-sleep frames). The fixed prefix is followed by
+/// optional single-letter trailers, written only when non-default so
+/// pre-POR journals and POR-off journals keep their exact shape:
+///   e 1                 coordinator-owned decision site
+///   z N r0..rN-1        sleep set
+///   f comm tag          decision footprint channel
+///   v N c0..cN-1        vector timestamp at epoch open
+std::string serialize_frame(const DfsFrame& frame, const char* keyword) {
+  std::string out =
+      strfmt("%s %d %llu %llu %d %d %d u %zu", keyword, frame.key.rank,
+             static_cast<unsigned long long>(frame.key.nd_index),
+             static_cast<unsigned long long>(frame.lc), frame.taken_src,
+             frame.record_alts ? 1 : 0, frame.mix_budget,
+             frame.untried.size());
+  for (const mpism::Rank src : frame.untried) {
+    out += strfmt(" %d", src);
+  }
+  out += strfmt(" s %zu", frame.seen.size());
+  for (const mpism::Rank src : frame.seen) {
+    out += strfmt(" %d", src);
+  }
+  if (frame.escape_alts) out += " e 1";
+  if (!frame.sleep.empty()) {
+    out += strfmt(" z %zu", frame.sleep.size());
+    for (const mpism::Rank src : frame.sleep) {
+      out += strfmt(" %d", src);
+    }
+  }
+  if (frame.comm != mpism::kCommWorld || frame.tag != mpism::kAnyTag) {
+    out += strfmt(" f %d %d", frame.comm, frame.tag);
+  }
+  if (!frame.vc.empty()) {
+    out += strfmt(" v %zu", frame.vc.size());
+    for (const std::uint64_t c : frame.vc) {
+      out += strfmt(" %llu", static_cast<unsigned long long>(c));
+    }
+  }
+  out += '\n';
+  return out;
+}
+
+/// Inverse of serialize_frame (past the keyword). Absent trailers parse
+/// to their defaults, so older journals load unchanged.
+bool parse_frame(std::istringstream& ls, DfsFrame* frame,
+                 std::string* error) {
+  int record_alts = 0;
+  std::string marker;
+  std::size_t count = 0;
+  if (!(ls >> frame->key.rank >> frame->key.nd_index >> frame->lc >>
+        frame->taken_src >> record_alts >> frame->mix_budget >> marker >>
+        count) ||
+      marker != "u") {
+    *error = "bad frame line";
+    return false;
+  }
+  frame->record_alts = record_alts != 0;
+  frame->untried.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!(ls >> frame->untried[i])) {
+      *error = "truncated untried list";
+      return false;
+    }
+  }
+  if (!(ls >> marker >> count) || marker != "s") {
+    *error = "bad seen list";
+    return false;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    mpism::Rank src = -1;
+    if (!(ls >> src)) {
+      *error = "truncated seen list";
+      return false;
+    }
+    frame->seen.insert(src);
+  }
+  while (ls >> marker) {
+    if (marker == "e") {
+      int escape = 0;
+      if (!(ls >> escape)) {
+        *error = "bad frame trailer";
+        return false;
+      }
+      frame->escape_alts = escape != 0;
+    } else if (marker == "z") {
+      if (!(ls >> count)) {
+        *error = "bad sleep list";
+        return false;
+      }
+      for (std::size_t i = 0; i < count; ++i) {
+        mpism::Rank src = -1;
+        if (!(ls >> src)) {
+          *error = "truncated sleep list";
+          return false;
+        }
+        frame->sleep.insert(src);
+      }
+    } else if (marker == "f") {
+      if (!(ls >> frame->comm >> frame->tag)) {
+        *error = "bad footprint trailer";
+        return false;
+      }
+    } else if (marker == "v") {
+      if (!(ls >> count)) {
+        *error = "bad vector-clock trailer";
+        return false;
+      }
+      frame->vc.resize(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        if (!(ls >> frame->vc[i])) {
+          *error = "truncated vector-clock trailer";
+          return false;
+        }
+      }
+    } else {
+      *error = "bad frame trailer";
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 std::string options_fingerprint(const ExplorerOptions& options) {
@@ -46,7 +168,7 @@ std::string options_fingerprint(const ExplorerOptions& options) {
   std::string fp = strfmt(
       "nprocs=%d clock=%d transport=%d mix=%s loopabs=%d unsafe=%d "
       "autoloop=%d defsync=%d sched=%s schedseed=%llu match=%s lock=%s "
-      "policy=%d pseed=%llu init=%016llx",
+      "por=%s policy=%d pseed=%llu init=%016llx",
       options.nprocs, static_cast<int>(options.clock_mode),
       static_cast<int>(options.transport), mix.c_str(),
       options.loop_abstraction ? 1 : 0, options.unsafe_monitor ? 1 : 0,
@@ -55,6 +177,7 @@ std::string options_fingerprint(const ExplorerOptions& options) {
       static_cast<unsigned long long>(options.sched.seed),
       mpism::match_spec(options.match),
       mpism::engine_lock_spec(options.engine_lock).c_str(),
+      por_spec(options.por),
       static_cast<int>(options.policy),
       static_cast<unsigned long long>(options.policy_seed),
       static_cast<unsigned long long>(hash_schedule(options.initial_schedule)));
@@ -79,22 +202,10 @@ std::string serialize_checkpoint(const Checkpoint& checkpoint) {
                 static_cast<unsigned long long>(checkpoint.divergences),
                 static_cast<unsigned long long>(checkpoint.prefix_mismatches));
   for (const DfsFrame& frame : checkpoint.frames) {
-    out += strfmt("frame %d %llu %llu %d %d %d u %zu", frame.key.rank,
-                  static_cast<unsigned long long>(frame.key.nd_index),
-                  static_cast<unsigned long long>(frame.lc), frame.taken_src,
-                  frame.record_alts ? 1 : 0, frame.mix_budget,
-                  frame.untried.size());
-    for (const mpism::Rank src : frame.untried) {
-      out += strfmt(" %d", src);
-    }
-    out += strfmt(" s %zu", frame.seen.size());
-    for (const mpism::Rank src : frame.seen) {
-      out += strfmt(" %d", src);
-    }
-    // Trailing optional field (absent in pre-dist journals, which parse
-    // with escape_alts=false): coordinator-owned decision site.
-    if (frame.escape_alts) out += " e 1";
-    out += '\n';
+    out += serialize_frame(frame, "frame");
+  }
+  for (const DfsFrame& frame : checkpoint.pending_sleep) {
+    out += serialize_frame(frame, "pframe");
   }
   for (const BugRecord& bug : checkpoint.bugs) {
     out += strfmt("bug %d %llu\n", static_cast<int>(bug.kind),
@@ -177,42 +288,14 @@ std::optional<Checkpoint> parse_checkpoint(
             cp.divergences >> cp.prefix_mismatches)) {
         return fail(strfmt("line %d: bad counters line", line_no));
       }
-    } else if (keyword == "frame") {
+    } else if (keyword == "frame" || keyword == "pframe") {
       DfsFrame frame;
-      int record_alts = 0;
-      std::string marker;
-      std::size_t count = 0;
-      if (!(ls >> frame.key.rank >> frame.key.nd_index >> frame.lc >>
-            frame.taken_src >> record_alts >> frame.mix_budget >> marker >>
-            count) ||
-          marker != "u") {
-        return fail(strfmt("line %d: bad frame line", line_no));
+      std::string frame_error;
+      if (!parse_frame(ls, &frame, &frame_error)) {
+        return fail(strfmt("line %d: %s", line_no, frame_error.c_str()));
       }
-      frame.record_alts = record_alts != 0;
-      frame.untried.resize(count);
-      for (std::size_t i = 0; i < count; ++i) {
-        if (!(ls >> frame.untried[i])) {
-          return fail(strfmt("line %d: truncated untried list", line_no));
-        }
-      }
-      if (!(ls >> marker >> count) || marker != "s") {
-        return fail(strfmt("line %d: bad seen list", line_no));
-      }
-      for (std::size_t i = 0; i < count; ++i) {
-        mpism::Rank src = -1;
-        if (!(ls >> src)) {
-          return fail(strfmt("line %d: truncated seen list", line_no));
-        }
-        frame.seen.insert(src);
-      }
-      if (ls >> marker) {
-        int escape = 0;
-        if (marker != "e" || !(ls >> escape)) {
-          return fail(strfmt("line %d: bad frame trailer", line_no));
-        }
-        frame.escape_alts = escape != 0;
-      }
-      cp.frames.push_back(std::move(frame));
+      (keyword == "frame" ? cp.frames : cp.pending_sleep)
+          .push_back(std::move(frame));
       open_bug = nullptr;
     } else if (keyword == "bug") {
       BugRecord bug;

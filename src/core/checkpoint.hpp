@@ -37,6 +37,13 @@ struct Checkpoint {
   std::uint64_t divergences = 0;
   std::uint64_t prefix_mismatches = 0;
   std::vector<DfsFrame> frames;
+  /// Fully explored frames harvested at the walk's last stack
+  /// truncation, not yet consumed by an extension (--por sleep). A kill
+  /// landing between the truncation and the next extend_stack would
+  /// otherwise lose them — and the resumed walk would explore *more*
+  /// interleavings than the uninterrupted one, breaking the kill/resume
+  /// exactness contract.
+  std::vector<DfsFrame> pending_sleep;
   std::vector<BugRecord> bugs;
   std::vector<std::string> unsafe_alerts;
 };

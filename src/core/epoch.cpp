@@ -2,9 +2,24 @@
 
 #include <algorithm>
 
+#include "common/check.hpp"
+
 namespace dampi::core {
 
 std::vector<const EpochRecord*> RunTrace::sorted() const {
+  if (sort_cache_.valid) {
+    // Same buffer grown or shrunk in place means someone mutated epochs
+    // after sorting — the cached pointers (and any the caller kept from
+    // an earlier sorted() call) may already dangle past a reallocation.
+    DAMPI_CHECK_MSG(sort_cache_.data != epochs.data() ||
+                        sort_cache_.size == epochs.size(),
+                    "RunTrace::epochs mutated after sorted()");
+    if (sort_cache_.data == epochs.data() &&
+        sort_cache_.size == epochs.size()) {
+      return sort_cache_.order;
+    }
+    sort_cache_.reset();
+  }
   std::vector<const EpochRecord*> out;
   out.reserve(epochs.size());
   for (const EpochRecord& e : epochs) out.push_back(&e);
@@ -13,6 +28,10 @@ std::vector<const EpochRecord*> RunTrace::sorted() const {
               if (a->lc != b->lc) return a->lc < b->lc;
               return a->key < b->key;
             });
+  sort_cache_.order = out;
+  sort_cache_.data = epochs.data();
+  sort_cache_.size = epochs.size();
+  sort_cache_.valid = true;
   return out;
 }
 

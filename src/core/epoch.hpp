@@ -90,7 +90,40 @@ struct RunTrace {
 
   /// Epochs in canonical trace order: (lc, rank, nd_index). Stable for a
   /// replayed prefix because forced matches reproduce clock propagation.
+  /// Sorted once and memoized — the explorer consults the order after
+  /// every run, and re-sorting an unchanged trace was pure waste. The
+  /// cache is identity-keyed on the epochs buffer: copies and moves
+  /// invalidate it (it never travels — the cached pointers would dangle
+  /// into the source's buffer), and in-place growth of an already-sorted
+  /// trace trips a DAMPI_CHECK, because mutating epochs after sorted()
+  /// invalidates pointers callers may still hold.
   std::vector<const EpochRecord*> sorted() const;
+
+ private:
+  /// Memoized canonical order; see sorted(). Deliberately non-copying:
+  /// any copy/move of the trace starts with a cold cache.
+  struct SortCache {
+    SortCache() = default;
+    SortCache(const SortCache&) {}
+    SortCache(SortCache&& other) noexcept { other.reset(); }
+    SortCache& operator=(const SortCache&) { return reset(); }
+    SortCache& operator=(SortCache&& other) noexcept {
+      other.reset();
+      return reset();
+    }
+    SortCache& reset() {
+      order.clear();
+      data = nullptr;
+      size = 0;
+      valid = false;
+      return *this;
+    }
+    std::vector<const EpochRecord*> order;
+    const EpochRecord* data = nullptr;  ///< epochs.data() at sort time
+    std::size_t size = 0;               ///< epochs.size() at sort time
+    bool valid = false;
+  };
+  mutable SortCache sort_cache_;
 };
 
 /// Thread-safe sink the per-rank layers flush into. One per run.

@@ -12,6 +12,7 @@
 #include "common/logging.hpp"
 #include "core/checkpoint.hpp"
 #include "core/dampi_layer.hpp"
+#include "core/por.hpp"
 #include "core/replay_pool.hpp"
 #include "mpism/fault.hpp"
 #include "obs/metrics.hpp"
@@ -91,18 +92,29 @@ bool failed_retryably(const mpism::RunReport& report) {
          (report.timed_out || !report.errors.empty());
 }
 
-/// Work-stealing carve: remove half of the shallowest non-empty untried
+/// Steal granularity floor: a frontier list must hold at least this many
+/// alternatives before a thief may carve it. Carving a 1-element list
+/// moves the victim's entire remaining work — on small frontiers the
+/// shard then ping-pongs between workers, each steal paying a full
+/// checkpoint round trip to transfer one replay. Declining (kNoSteal)
+/// lets the victim just finish instead.
+constexpr std::size_t kMinStealFrontier = 2;
+
+/// Work-stealing carve: remove half of the shallowest stealable untried
 /// list (shallowest = largest subtrees, the classic steal heuristic) and
 /// package it as a resumable shard checkpoint. Ownership of every prefix
 /// site — victim frames 0..pos — transfers to the coordinator: both the
 /// victim and the thief now *escape* newly revealed alternatives there,
 /// so the coordinator's per-site dedup keeps shard accounting
-/// exactly-once. Returns nullptr when the stack has nothing to steal.
+/// exactly-once. Returns nullptr when no list reaches kMinStealFrontier:
+/// the carve never empties a list, and never fires at all when the
+/// victim's frontier is too small to be worth splitting.
 std::shared_ptr<Checkpoint> carve_steal(std::vector<DfsFrame>& stack,
                                         const std::string& fingerprint) {
   int pos = -1;
   for (int i = 0; i < static_cast<int>(stack.size()); ++i) {
-    if (!stack[static_cast<std::size_t>(i)].untried.empty()) {
+    if (stack[static_cast<std::size_t>(i)].untried.size() >=
+        kMinStealFrontier) {
       pos = i;
       break;
     }
@@ -111,8 +123,9 @@ std::shared_ptr<Checkpoint> carve_steal(std::vector<DfsFrame>& stack,
 
   DfsFrame& victim = stack[static_cast<std::size_t>(pos)];
   // The victim consumes untried from the back; steal from the front so
-  // its imminent work is untouched.
-  const std::size_t take = (victim.untried.size() + 1) / 2;
+  // its imminent work is untouched. Floor division keeps at least one
+  // alternative on each side (untried.size() >= kMinStealFrontier).
+  const std::size_t take = victim.untried.size() / 2;
   std::vector<mpism::Rank> stolen(victim.untried.begin(),
                                   victim.untried.begin() +
                                       static_cast<std::ptrdiff_t>(take));
@@ -124,10 +137,16 @@ std::shared_ptr<Checkpoint> carve_steal(std::vector<DfsFrame>& stack,
   shard->fingerprint = fingerprint;
   shard->frames.assign(stack.begin(),
                        stack.begin() + static_cast<std::ptrdiff_t>(pos) + 1);
-  for (DfsFrame& frame : shard->frames) frame.escape_alts = true;
+  // Prefix frames shallower than pos may hold sub-threshold untried
+  // lists the victim keeps; the thief gets only the stolen half.
+  for (DfsFrame& frame : shard->frames) {
+    frame.untried.clear();
+    frame.escape_alts = true;
+  }
   shard->frames.back().untried = std::move(stolen);
-  // Ownership transfer on the victim side too (frames 0..pos-1 have
-  // empty untried by construction — pos is the shallowest non-empty).
+  // Ownership transfer on the victim side too: every prefix site is now
+  // shared with the thief, so newly revealed alternatives there must go
+  // through the coordinator's dedup.
   for (int j = 0; j <= pos; ++j) {
     stack[static_cast<std::size_t>(j)].escape_alts = true;
   }
@@ -135,6 +154,16 @@ std::shared_ptr<Checkpoint> carve_steal(std::vector<DfsFrame>& stack,
 }
 
 }  // namespace
+
+DecisionFootprint frame_footprint(const DfsFrame& frame) {
+  DecisionFootprint fp;
+  fp.rank = frame.key.rank;
+  fp.comm = frame.comm;
+  fp.tag = frame.tag;
+  fp.candidates.assign(frame.seen.begin(), frame.seen.end());  // sorted
+  fp.vc = frame.vc;
+  return fp;
+}
 
 Explorer::Explorer(ExplorerOptions options) : options_(std::move(options)) {}
 
@@ -193,6 +222,23 @@ void Explorer::extend_stack(const RunTrace& trace, int flip_pos,
   std::map<EpochKey, const EpochRecord*> by_key;
   for (const EpochRecord* e : sorted) by_key[e->key] = e;
 
+  // Sleep-set pruning (--por sleep, DESIGN.md §4.14): the frames
+  // truncated when this flip was chosen were fully explored subtrees.
+  // A decision site reappearing below the new sibling whose decision
+  // provably commutes with the flip need not re-enumerate the sources
+  // that subtree already covered — re-ordering commuting decisions only
+  // permutes equivalent interleavings. Those sources go to sleep (and
+  // into `seen`, which also keeps prefix merging and distributed
+  // per-site dedup from waking them).
+  std::map<EpochKey, const DfsFrame*> harvested;
+  DecisionFootprint flip_fp;
+  const bool pruning = options_.por == PorMode::kSleep && flip_pos >= 0 &&
+                       !pending_sleep_.empty();
+  if (pruning) {
+    for (const DfsFrame& h : pending_sleep_) harvested[h.key] = &h;
+    flip_fp = frame_footprint(stack_[static_cast<std::size_t>(flip_pos)]);
+  }
+
   // Prefix frames: verify the guided replay reproduced each decision
   // (replay-determinism soundness check) and — in unbounded mode only —
   // merge in any alternatives this run revealed that the creating run
@@ -216,6 +262,10 @@ void Explorer::extend_stack(const RunTrace& trace, int flip_pos,
     }
     if (merge_prefix_alts && frame.record_alts) {
       for (const auto& [src, match] : it->second->alternatives) {
+        if (frame.seen.count(src) != 0) {
+          if (frame.sleep.count(src) != 0) ++result.por_sleep_hits;
+          continue;
+        }
         if (frame.seen.insert(src).second) {
           if (frame.escape_alts) {
             // Coordinator-owned site: report instead of exploring, so a
@@ -256,7 +306,36 @@ void Explorer::extend_stack(const RunTrace& trace, int flip_pos,
     frame.key = epoch->key;
     frame.lc = epoch->lc;
     frame.taken_src = epoch->matched_src_world;
+    frame.comm = epoch->comm;
+    frame.tag = epoch->tag;
+    frame.vc = epoch->vc;
     frame.seen.insert(frame.taken_src);
+    if (pruning) {
+      // Same decision site, fully explored in the commuting sibling
+      // subtree: inherit its covered sources as the sleep set. The
+      // harvested seen set already folds in anything *it* inherited, so
+      // pruning chains across successive siblings.
+      auto hit = harvested.find(frame.key);
+      if (hit != harvested.end()) {
+        if (independent(flip_fp, frame_footprint(*hit->second))) {
+          for (const mpism::Rank src : hit->second->seen) {
+            if (src == frame.taken_src) continue;
+            if (frame.seen.insert(src).second) {
+              frame.sleep.insert(src);
+              ++result.por_pruned;
+            }
+          }
+          if (!frame.sleep.empty()) {
+            DAMPI_TEVENT(obs::EventKind::kPorPrune, obs::Phase::kInstant,
+                         frame.key.rank,
+                         static_cast<std::int32_t>(frame.key.nd_index),
+                         static_cast<std::int32_t>(frame.sleep.size()));
+          }
+        } else {
+          ++result.por_dependent_pairs;
+        }
+      }
+    }
     const bool within_window = new_depth <= window_budget;
     frame.mix_budget =
         flip_pos < 0 ? k : std::max(window_budget - new_depth, 0);
@@ -264,7 +343,11 @@ void Explorer::extend_stack(const RunTrace& trace, int flip_pos,
     if (frame.record_alts) {
       frame.untried.reserve(epoch->alternatives.size());
       for (const auto& [src, match] : epoch->alternatives) {
-        if (frame.seen.insert(src).second) frame.untried.push_back(src);
+        if (frame.seen.insert(src).second) {
+          frame.untried.push_back(src);
+        } else if (frame.sleep.count(src) != 0) {
+          ++result.por_sleep_hits;
+        }
       }
     }
     DAMPI_TEVENT(obs::EventKind::kDecisionPush, obs::Phase::kInstant,
@@ -273,6 +356,10 @@ void Explorer::extend_stack(const RunTrace& trace, int flip_pos,
                  static_cast<std::int32_t>(frame.untried.size()));
     stack_.push_back(std::move(frame));
   }
+
+  // The harvest was for this extension only: the next truncation
+  // collects the next fully explored subtree.
+  if (flip_pos >= 0) pending_sleep_.clear();
 }
 
 Schedule Explorer::schedule_for(int frame_pos, mpism::Rank alt) const {
@@ -316,6 +403,7 @@ ExploreResult Explorer::explore(const mpism::ProgramFn& program,
 
   ExploreResult result;
   stack_.clear();
+  pending_sleep_.clear();
   std::unordered_set<std::string> alert_keys;
 
   // One CancelSource per campaign: external callers (SIGINT bridge,
@@ -375,6 +463,7 @@ ExploreResult Explorer::explore(const mpism::ProgramFn& program,
     cp.divergences = result.divergences;
     cp.prefix_mismatches = result.prefix_mismatches;
     cp.frames = stack_;
+    cp.pending_sleep = pending_sleep_;
     cp.bugs = result.bugs;
     cp.unsafe_alerts = result.unsafe_alerts;
     DAMPI_TEVENT(obs::EventKind::kCheckpoint, obs::Phase::kBegin,
@@ -428,6 +517,7 @@ ExploreResult Explorer::explore(const mpism::ProgramFn& program,
     // the SELF_RUN, so first-run stats stay zero).
     const Checkpoint& cp = *options_.resume_from;
     stack_ = cp.frames;
+    pending_sleep_ = cp.pending_sleep;
     result.interleavings = cp.interleavings;
     result.bugs = cp.bugs;
     result.retries = cp.retries;
@@ -512,6 +602,17 @@ ExploreResult Explorer::explore(const mpism::ProgramFn& program,
     }
     if (flip < 0) break;  // all epoch decisions exhausted
 
+    // Frames deeper than the flip are fully explored (the flip is the
+    // deepest frame with untried work). Under --por sleep they are
+    // harvested before the truncation discards them: the next
+    // extend_stack at this flip inherits their covered sources into the
+    // sibling subtree's sleep sets where the decisions commute.
+    if (options_.por == PorMode::kSleep) {
+      for (std::size_t i = static_cast<std::size_t>(flip) + 1;
+           i < stack_.size(); ++i) {
+        pending_sleep_.push_back(std::move(stack_[i]));
+      }
+    }
     stack_.resize(static_cast<std::size_t>(flip) + 1);
     DfsFrame& frame = stack_[static_cast<std::size_t>(flip)];
     frame.taken_src = frame.untried.back();
@@ -603,6 +704,15 @@ ExploreResult Explorer::explore(const mpism::ProgramFn& program,
       obs::Registry::instance().counter("explorer.timeouts");
   static obs::Counter& quarantined_metric =
       obs::Registry::instance().counter("explorer.quarantined");
+  static obs::Counter& por_pruned_metric =
+      obs::Registry::instance().counter("explorer.por.pruned");
+  static obs::Counter& por_dependent_metric =
+      obs::Registry::instance().counter("explorer.por.dependent_pairs");
+  static obs::Counter& por_sleep_hits_metric =
+      obs::Registry::instance().counter("explorer.por.sleep_hits");
+  por_pruned_metric.add(result.por_pruned);
+  por_dependent_metric.add(result.por_dependent_pairs);
+  por_sleep_hits_metric.add(result.por_sleep_hits);
   interleavings_metric.add(result.interleavings);
   explorations_metric.add(1);
   bugs_metric.add(result.bugs.size());

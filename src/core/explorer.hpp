@@ -18,6 +18,7 @@
 #include "core/decision.hpp"
 #include "core/epoch.hpp"
 #include "core/options.hpp"
+#include "core/por.hpp"
 #include "mpism/report.hpp"
 #include "mpism/runtime.hpp"
 
@@ -62,10 +63,24 @@ struct DfsFrame {
   std::uint64_t lc = 0;
   mpism::Rank taken_src = -1;
   std::vector<mpism::Rank> untried;
-  /// Every source ever queued for this epoch (taken or untried); later
-  /// runs may reveal alternatives the creating run could not see, and
-  /// those are merged exactly once.
+  /// Every source ever queued for this epoch (taken, untried, or slept);
+  /// later runs may reveal alternatives the creating run could not see,
+  /// and those are merged exactly once.
   std::set<mpism::Rank> seen;
+  /// Sleep set (POR, DESIGN.md §4.14): sources fully explored at this
+  /// decision site in a commuting sibling subtree. They sit in `seen` as
+  /// well — that is what keeps prefix-merging and the distributed
+  /// per-site dedup from resurrecting a pruned schedule — and are kept
+  /// separately so checkpoints, escapes, and metrics can tell a pruned
+  /// source from an explored one.
+  std::set<mpism::Rank> sleep;
+  /// Decision footprint for the independence relation, captured from the
+  /// creating run's EpochRecord: communicator, posted tag, and the
+  /// vector timestamp at epoch open (empty under Lamport clocks). The
+  /// candidate source set is `seen`.
+  mpism::CommId comm = mpism::kCommWorld;
+  mpism::Tag tag = mpism::kAnyTag;
+  std::vector<std::uint64_t> vc;
   /// False when the frame was created outside the bounded-mixing
   /// window or inside a loop-abstraction region: it takes whatever the
   /// run gives it and never accumulates alternatives.
@@ -87,6 +102,12 @@ struct DfsFrame {
   bool escape_alts = false;
 };
 
+/// The independence relation's view of one pending decision (por.hpp):
+/// candidates are every source ever seen at the site. Shared with the
+/// campaign coordinator, which uses it to canonicalize escape site ids
+/// under --por sleep.
+DecisionFootprint frame_footprint(const DfsFrame& frame);
+
 /// An alternative revealed for an escape_alts frame: the walk did not
 /// explore it; the coordinator dedups it against the site's global seen
 /// set and spawns a new shard if it is genuinely new. Carries a snapshot
@@ -103,6 +124,15 @@ struct EscapedAlt {
 struct ExploreResult {
   std::uint64_t interleavings = 0;
   std::vector<BugRecord> bugs;
+
+  /// --- Partial-order reduction (--por sleep) ----------------------------
+  /// Sources put to sleep instead of re-enumerated (each is one whole
+  /// replay subtree the walk skipped re-rooting).
+  std::uint64_t por_pruned = 0;
+  /// Harvested/new frame pairs the relation judged dependent (kept).
+  std::uint64_t por_dependent_pairs = 0;
+  /// Alternative enumerations suppressed because the source was asleep.
+  std::uint64_t por_sleep_hits = 0;
 
   /// First (SELF_RUN) execution data — what Table II reports.
   mpism::RunReport first_report;
@@ -195,6 +225,14 @@ class Explorer {
 
   ExplorerOptions options_;
   std::vector<DfsFrame> stack_;
+  /// Fully explored frames harvested at the last stack truncation
+  /// (--por sleep): each carries the seen set of a subtree that is done.
+  /// extend_stack() puts those sources to sleep in the sibling subtree's
+  /// matching frames when the decision commutes with the flip, then
+  /// clears the harvest. Journalled in the checkpoint so a kill between
+  /// the truncation and the extension does not lose pruning state (the
+  /// resumed walk must replay the uninterrupted walk exactly).
+  std::vector<DfsFrame> pending_sleep_;
 };
 
 }  // namespace dampi::core

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/decision.hpp"
+#include "core/por.hpp"
 #include "mpism/cancel.hpp"
 #include "mpism/cost_model.hpp"
 #include "mpism/fault.hpp"
@@ -119,6 +120,16 @@ struct ExplorerOptions {
   /// differential baseline; verdicts and fingerprints are identical
   /// across modes. Honors DAMPI_ENGINE_LOCK.
   mpism::EngineLockKind engine_lock = mpism::default_engine_lock_kind();
+
+  /// Partial-order reduction of the DFS walk (core/por.hpp): sleep-set
+  /// pruning over provably commuting epoch decisions (default), or the
+  /// full cross-product walk kept as the differential baseline. Pruning
+  /// needs vector timestamps — under Lamport clocks every decision is
+  /// conservatively dependent and the two modes walk identically. The
+  /// pruned walk finds the same bug set and the same per-epoch outcome
+  /// sets in ≤ interleavings (tests/test_por.cpp gates this). Honors
+  /// DAMPI_POR.
+  PorMode por = default_por_mode();
 
   /// Search budget.
   std::uint64_t max_interleavings = 1u << 20;

@@ -28,7 +28,7 @@ Checkpoint shard_skeleton(const Checkpoint& root, std::size_t max_pos) {
 }  // namespace
 
 std::vector<Checkpoint> split_frontier(const Checkpoint& root,
-                                       std::size_t max_shards) {
+                                       std::size_t max_shards, PorMode por) {
   // One unit of work per untried alternative, shallow frames first —
   // round-robin over that order spreads the biggest subtrees across
   // shards instead of stacking them into one.
@@ -54,6 +54,9 @@ std::vector<Checkpoint> split_frontier(const Checkpoint& root,
   for (const auto& mine : assigned) {
     std::size_t max_pos = 0;
     for (const auto& [pos, src] : mine) max_pos = std::max(max_pos, pos);
+    // Sleep-set pruning needs the whole frontier's seen sets in every
+    // shard (see the declaration); off mode keeps the minimal prefix.
+    if (por == PorMode::kSleep) max_pos = root.frames.size() - 1;
     Checkpoint shard = shard_skeleton(root, max_pos);
     for (const auto& [pos, src] : mine) {
       shard.frames[pos].untried.push_back(src);
@@ -66,6 +69,27 @@ std::vector<Checkpoint> split_frontier(const Checkpoint& root,
 std::string site_id(const std::vector<DfsFrame>& frames, std::size_t pos) {
   std::string id;
   for (std::size_t j = 0; j < pos; ++j) {
+    id += strfmt("%d:%llu=%d|", frames[j].key.rank,
+                 static_cast<unsigned long long>(frames[j].key.nd_index),
+                 frames[j].taken_src);
+  }
+  id += strfmt("@%d:%llu", frames[pos].key.rank,
+               static_cast<unsigned long long>(frames[pos].key.nd_index));
+  return id;
+}
+
+std::string canonical_site_id(const std::vector<DfsFrame>& frames,
+                              std::size_t pos, PorMode por) {
+  if (por != PorMode::kSleep) return site_id(frames, pos);
+  const DecisionFootprint site = frame_footprint(frames[pos]);
+  std::string id;
+  for (std::size_t j = 0; j < pos; ++j) {
+    // A commuting prefix decision does not change what the site's
+    // subtree can do — two prefixes differing only there denote the
+    // same site. Under Lamport clocks independent() is always false,
+    // so the canonical id degenerates to site_id and the off-mode
+    // dedup behaviour is preserved bit for bit.
+    if (independent(frame_footprint(frames[j]), site)) continue;
     id += strfmt("%d:%llu=%d|", frames[j].key.rank,
                  static_cast<unsigned long long>(frames[j].key.nd_index),
                  frames[j].taken_src);
@@ -98,8 +122,8 @@ std::string bug_key(const BugRecord& bug) {
   return key;
 }
 
-CampaignMerge::CampaignMerge(ExploreResult discovery)
-    : merged_(std::move(discovery)) {
+CampaignMerge::CampaignMerge(ExploreResult discovery, PorMode por)
+    : por_(por), merged_(std::move(discovery)) {
   for (const BugRecord& bug : merged_.bugs) bug_keys_.insert(bug_key(bug));
   for (const std::string& alert : merged_.unsafe_alerts) {
     alert_keys_.insert(alert);
@@ -114,7 +138,8 @@ void CampaignMerge::register_shard_sites(const Checkpoint& shard) {
   for (std::size_t pos = 0; pos < shard.frames.size(); ++pos) {
     const DfsFrame& frame = shard.frames[pos];
     if (!frame.escape_alts) continue;
-    std::set<mpism::Rank>& seen = site_seen_[site_id(shard.frames, pos)];
+    std::set<mpism::Rank>& seen =
+        site_seen_[canonical_site_id(shard.frames, pos, por_)];
     seen.insert(frame.seen.begin(), frame.seen.end());
     seen.insert(frame.untried.begin(), frame.untried.end());
   }
@@ -122,13 +147,17 @@ void CampaignMerge::register_shard_sites(const Checkpoint& shard) {
 
 bool CampaignMerge::escape_is_new(const EscapedAlt& escape) {
   if (escape.frames.empty()) return false;
-  return site_seen_[site_id(escape.frames, escape.frames.size() - 1)]
+  return site_seen_[canonical_site_id(escape.frames,
+                                      escape.frames.size() - 1, por_)]
       .insert(escape.src)
       .second;
 }
 
 void CampaignMerge::add(const ExploreResult& shard) {
   merged_.interleavings += shard.interleavings;
+  merged_.por_pruned += shard.por_pruned;
+  merged_.por_dependent_pairs += shard.por_dependent_pairs;
+  merged_.por_sleep_hits += shard.por_sleep_hits;
   merged_.total_vtime_us += shard.total_vtime_us;
   merged_.divergences += shard.divergences;
   merged_.prefix_mismatches += shard.prefix_mismatches;

@@ -33,13 +33,35 @@ namespace dampi::core {
 /// are consumed deepest-first). Counters are zeroed: a shard's result
 /// accounts only the runs the shard itself performed. Returns an empty
 /// vector when the frontier has no untried alternatives.
+///
+/// Under --por sleep every shard's skeleton spans the FULL frontier, not
+/// just its deepest assigned frame: the suffix frames carry no untried
+/// work (their alternatives belong to other shards) but their seen sets
+/// travel with the shard, so the worker's harvest-at-truncation can put
+/// sibling-covered sources to sleep exactly as the single-process walk
+/// would. Replayed schedules are unchanged — schedule_for() only forces
+/// decisions above the flip, and the suffix is truncated (harvested) at
+/// the first flip before any run.
 std::vector<Checkpoint> split_frontier(const Checkpoint& root,
-                                       std::size_t max_shards = 0);
+                                       std::size_t max_shards = 0,
+                                       PorMode por = PorMode::kOff);
 
-/// Canonical identity of a decision site: the forced decisions of
-/// frames 0..pos-1 plus frame pos's epoch key. Two shards that carry
-/// the same prefix denote the same site, whichever worker runs them.
+/// Identity of a decision site: the forced decisions of frames
+/// 0..pos-1 plus frame pos's epoch key. Two shards that carry the same
+/// prefix denote the same site, whichever worker runs them.
 std::string site_id(const std::vector<DfsFrame>& frames, std::size_t pos);
+
+/// Site identity modulo commuting prefix decisions. Under --por sleep a
+/// worker can reveal an alternative for a prefix site while a commuting
+/// decision above it sits flipped; the raw site_id then differs from the
+/// id the site was registered under and the coordinator would resurrect
+/// a schedule the sequential sleep walk prunes. Canonicalization drops
+/// every prefix decision the independence relation proves commutes with
+/// the site's own decision (por.hpp; conservative fallbacks keep the
+/// decision in the id, which at worst costs an extra shard, never
+/// coverage). With por == kOff this is exactly site_id().
+std::string canonical_site_id(const std::vector<DfsFrame>& frames,
+                              std::size_t pos, PorMode por);
 
 /// Shard exploring exactly one escaped alternative: the escape's frame
 /// prefix copied (every frame escape_alts, untried cleared) with the
@@ -59,7 +81,10 @@ class CampaignMerge {
  public:
   /// Seeds the accumulator from the discovery (or resume-restore)
   /// result: first-run stats, initial bugs/alerts, journalled counters.
-  explicit CampaignMerge(ExploreResult discovery);
+  /// `por` must match the campaign's ExplorerOptions::por — it selects
+  /// the site-id canonicalization used by the escape dedup.
+  explicit CampaignMerge(ExploreResult discovery,
+                         PorMode por = PorMode::kOff);
 
   /// Register every escape_alts prefix site of a shard about to be
   /// queued (idempotent; unions the frames' seen sets in).
@@ -85,6 +110,7 @@ class CampaignMerge {
   ExploreResult finish();
 
  private:
+  PorMode por_ = PorMode::kOff;
   ExploreResult merged_;
   std::unordered_set<std::string> bug_keys_;
   std::unordered_set<std::string> alert_keys_;

@@ -67,7 +67,7 @@ DistResult run_distributed(const DistOptions& options,
       discovered.interrupted || discovered.time_budget_exhausted;
   const bool stop_early = options.explorer.stop_on_first_error &&
                           !discovered.bugs.empty();
-  core::CampaignMerge merge(std::move(discovered));
+  core::CampaignMerge merge(std::move(discovered), options.explorer.por);
 
   // --- Shard bookkeeping ---------------------------------------------------
   std::map<std::uint64_t, ShardState> shards;
@@ -83,7 +83,8 @@ DistResult run_distributed(const DistOptions& options,
     shards.emplace(st.id, std::move(st));
   };
   if (!discovery_aborted && !stop_early) {
-    for (core::Checkpoint& cp : core::split_frontier(root)) {
+    for (core::Checkpoint& cp :
+         core::split_frontier(root, 0, options.explorer.por)) {
       add_shard(std::move(cp));
       ++out.stats.shards_initial;
     }

@@ -23,6 +23,7 @@ const KindInfo& kind_info(EventKind kind) {
       {"piggyback.attach", {"bytes", nullptr, nullptr, nullptr}},
       {"decision.push", {"rank", "nd", "alts", nullptr}},
       {"decision.pop", {"rank", "nd", "src", nullptr}},
+      {"por.prune", {"rank", "nd", "slept", nullptr}},
       {"replay", {"speculative", nullptr, nullptr, "interleaving"}},
       {"replay.discard", {nullptr, nullptr, nullptr, nullptr}},
       {"sched.run", {"rank", nullptr, nullptr, nullptr}},

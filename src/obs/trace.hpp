@@ -49,6 +49,7 @@ enum class EventKind : std::uint16_t {
   // explorer / replay pool (lanes: "explore", "worker N")
   kDecisionPush,    ///< DFS frame added; a=rank b=nd_index c=alternatives
   kDecisionPop,     ///< DFS frame flipped; a=rank b=nd_index c=forced src
+  kPorPrune,        ///< sleep-set prune; a=rank b=nd_index c=slept sources
   kRun,             ///< span: one replay; a=speculative d=interleaving
   kRunDiscard,      ///< instant: speculative result dropped at shutdown
   // coop scheduler (emitted in the host thread's lane)

@@ -172,6 +172,34 @@ void fan_in_rounds(Proc& p, int rounds) {
   }
 }
 
+void fan_in_groups(Proc& p, int groups) {
+  DAMPI_CHECK(p.size() >= 3 * groups);
+  const int g = p.rank() / 3;
+  const bool is_root = g < groups && p.rank() % 3 == 0;
+  if (is_root) {
+    p.barrier();
+    p.recv(kAnySource, /*tag=*/g);
+    p.recv(kAnySource, /*tag=*/g);
+  } else {
+    if (g < groups) p.send(3 * g, /*tag=*/g, pack<int>(p.rank()));
+    p.barrier();
+  }
+}
+
+void all_pairs_churn(Proc& p, int rounds) {
+  DAMPI_CHECK(p.size() >= 2);
+  for (int r = 0; r < rounds; ++r) {
+    for (int dst = 0; dst < p.size(); ++dst) {
+      if (dst != p.rank()) p.send(dst, /*tag=*/r, pack<int>(p.rank()));
+    }
+    p.barrier();
+    for (int i = 1; i < p.size(); ++i) {
+      p.recv(kAnySource, /*tag=*/r);
+    }
+    p.barrier();
+  }
+}
+
 void dist_fanout(Proc& p, int rounds, double spin_us) {
   DAMPI_CHECK(p.size() >= 2);
   if (p.rank() == 0) {

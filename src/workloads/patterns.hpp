@@ -52,6 +52,23 @@ void leaky_program(mpism::Proc& p);
 /// assertions (bounded mixing, k=0 formula).
 void fan_in_rounds(mpism::Proc& p, int rounds);
 
+/// `groups` disjoint wildcard fan-ins: group g is ranks {3g, 3g+1,
+/// 3g+2}; the two non-root members send to root 3g (tag g) before a
+/// global barrier, then the root drains them with two wildcard
+/// receives. The groups never exchange a message, so under vector
+/// clocks every cross-group decision pair commutes: --por off walks the
+/// full 2^groups cross-product while sleep-set pruning needs only
+/// groups+1 interleavings for the same per-epoch coverage. Ranks beyond
+/// 3*groups just hit the barrier.
+void fan_in_groups(mpism::Proc& p, int groups);
+
+/// Adversarial POR fixture: every rank sends one message (tag = round)
+/// to every other rank, a barrier, then every rank drains its size-1
+/// incoming with wildcard receives. All candidate sets overlap, so no
+/// decision pair commutes — sleep-set pruning must prune nothing and
+/// match --por off exactly.
+void all_pairs_churn(mpism::Proc& p, int rounds);
+
 /// Distributed-campaign fixture: fan_in_rounds plus `spin_us` of
 /// busy-work at the root per received message. The wildcard fan-in
 /// gives the campaign a wide, deterministic frontier to shard while the

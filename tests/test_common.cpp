@@ -156,6 +156,80 @@ TEST(EpochTrace, SortedOrderIsLcThenRankThenIndex) {
   EXPECT_EQ(sorted[3]->key.nd_index, 1u);     // lc 9
 }
 
+TEST(EpochTrace, SortedIsMemoizedAndCopySafe) {
+  core::RunTrace trace;
+  for (int i = 0; i < 4; ++i) {
+    core::EpochRecord rec;
+    rec.key = core::EpochKey{i, 0};
+    rec.lc = static_cast<std::uint64_t>(10 - i);
+    trace.epochs.push_back(rec);
+  }
+  const auto first = trace.sorted();
+  const auto second = trace.sorted();  // cache hit
+  EXPECT_EQ(first, second);
+  for (const auto* e : first) {
+    EXPECT_GE(e, trace.epochs.data());
+    EXPECT_LT(e, trace.epochs.data() + trace.epochs.size());
+  }
+
+  // A copy must re-sort into its own buffer — a carried-over cache would
+  // hand out pointers into the original.
+  core::RunTrace copy = trace;
+  const auto copy_sorted = copy.sorted();
+  ASSERT_EQ(copy_sorted.size(), first.size());
+  for (std::size_t i = 0; i < copy_sorted.size(); ++i) {
+    EXPECT_NE(copy_sorted[i], first[i]);
+    EXPECT_EQ(copy_sorted[i]->key, first[i]->key);
+    EXPECT_GE(copy_sorted[i], copy.epochs.data());
+    EXPECT_LT(copy_sorted[i], copy.epochs.data() + copy.epochs.size());
+  }
+
+  // Moving carries the buffer, so cached pointers stay valid in the
+  // destination and the source cache is dropped with its epochs.
+  core::RunTrace moved = std::move(copy);
+  const auto moved_sorted = moved.sorted();
+  ASSERT_EQ(moved_sorted.size(), first.size());
+  for (const auto* e : moved_sorted) {
+    EXPECT_GE(e, moved.epochs.data());
+    EXPECT_LT(e, moved.epochs.data() + moved.epochs.size());
+  }
+}
+
+TEST(ForcedDecisions, FlatMapSemantics) {
+  core::ForcedDecisions forced;
+  EXPECT_TRUE(forced.empty());
+  EXPECT_EQ(forced.count(core::EpochKey{0, 0}), 0u);
+
+  // Out-of-order inserts iterate in key order (the checkpoint and
+  // decision-file formats depend on that).
+  forced[core::EpochKey{2, 1}] = 7;
+  forced[core::EpochKey{0, 3}] = 5;
+  forced[core::EpochKey{1, 0}] = 6;
+  ASSERT_EQ(forced.size(), 3u);
+  std::vector<int> ranks;
+  for (const auto& [key, src] : forced) ranks.push_back(key.rank);
+  EXPECT_EQ(ranks, (std::vector<int>{0, 1, 2}));
+
+  // operator[] assigns through; emplace refuses to overwrite.
+  forced[core::EpochKey{1, 0}] = 9;
+  EXPECT_EQ(forced.find(core::EpochKey{1, 0})->second, 9);
+  EXPECT_FALSE(forced.emplace(core::EpochKey{1, 0}, 4));
+  EXPECT_EQ(forced.find(core::EpochKey{1, 0})->second, 9);
+  EXPECT_TRUE(forced.emplace(core::EpochKey{3, 0}, 4));
+  EXPECT_EQ(forced.count(core::EpochKey{3, 0}), 1u);
+  EXPECT_EQ(forced.find(core::EpochKey{9, 9}), forced.end());
+
+  // Equality is order-insensitive because storage is canonical.
+  core::ForcedDecisions same;
+  same[core::EpochKey{3, 0}] = 4;
+  same[core::EpochKey{0, 3}] = 5;
+  same[core::EpochKey{2, 1}] = 7;
+  same[core::EpochKey{1, 0}] = 9;
+  EXPECT_EQ(forced, same);
+  same[core::EpochKey{0, 3}] = 1;
+  EXPECT_NE(forced, same);
+}
+
 TEST(Schedule, LookupSemantics) {
   core::Schedule schedule;
   EXPECT_TRUE(schedule.empty());

@@ -79,9 +79,9 @@ ExploreResult run_sharded_campaign(const ExplorerOptions& base,
   root.fingerprint = fingerprint;
   root.frames = discovered.frontier;
 
-  CampaignMerge merge(std::move(discovered));
+  CampaignMerge merge(std::move(discovered), base.por);
   std::deque<Checkpoint> queue;
-  for (Checkpoint& cp : core::split_frontier(root, max_shards)) {
+  for (Checkpoint& cp : core::split_frontier(root, max_shards, base.por)) {
     merge.register_shard_sites(cp);
     queue.push_back(std::move(cp));
   }
@@ -246,6 +246,99 @@ TEST(Dist, StealSplitsWorkWithoutLossOrDuplication) {
     thief.on_escape = [&](const EscapedAlt& e) { more.push_back(e); };
     ExploreResult r = Explorer(thief).explore(
         fan_in(2), [&](const core::RunTrace&, const mpism::RunReport&,
+                       const Schedule& s) { bag.insert(bag_key(s)); });
+    merge.add(r);
+    for (const EscapedAlt& e : more) {
+      if (merge.escape_is_new(e)) {
+        Checkpoint next = core::make_escape_shard(e, fingerprint);
+        merge.register_shard_sites(next);
+        queue.push_back(std::move(next));
+      }
+    }
+  }
+
+  ExploreResult merged = merge.finish();
+  EXPECT_EQ(merged.interleavings, baseline.interleavings);
+  EXPECT_EQ(bag, baseline_bag);
+}
+
+// A frontier whose every untried list is below the steal threshold is
+// not worth a process handoff: carving must refuse (the worker replies
+// kNoSteal) instead of stripping the victim's last alternative — and
+// the victim then finishes every interleaving itself.
+TEST(Dist, StealRefusesSubThresholdFrontier) {
+  ExplorerOptions options = explorer_options(3);
+  options.sched.kind = mpism::SchedulerKind::kCoop;
+
+  ScheduleBag baseline_bag;
+  ExploreResult baseline = Explorer(options).explore(
+      fan_in(1), [&](const core::RunTrace&, const mpism::RunReport&,
+                     const Schedule& s) { baseline_bag.insert(bag_key(s)); });
+
+  ExplorerOptions disc = options;
+  disc.discovery_only = true;
+  ScheduleBag bag;
+  ExploreResult discovered = Explorer(disc).explore(
+      fan_in(1), [&](const core::RunTrace&, const mpism::RunReport&,
+                     const Schedule& s) { bag.insert(bag_key(s)); });
+  // The fixture's whole point: one alternative per frame, all lists
+  // below the threshold.
+  for (const auto& frame : discovered.frontier) {
+    ASSERT_LT(frame.untried.size(), 2u);
+  }
+  const std::string fingerprint = core::options_fingerprint(options);
+  Checkpoint root;
+  root.fingerprint = fingerprint;
+  root.frames = discovered.frontier;
+  auto shards = core::split_frontier(root, 1);
+  ASSERT_EQ(shards.size(), 1u);
+
+  CampaignMerge merge(std::move(discovered));
+  merge.register_shard_sites(shards[0]);
+
+  int steal_attempts = 0;
+  int steal_grants = 0;
+  bool steal_pending = false;
+  std::vector<EscapedAlt> escapes;
+  ExplorerOptions victim = options;
+  victim.resume_from = std::make_shared<const Checkpoint>(shards[0]);
+  victim.steal_poll = [&] {
+    if (steal_attempts == 0 && !steal_pending) {
+      steal_pending = true;
+      return true;
+    }
+    return false;
+  };
+  victim.on_steal = [&](std::shared_ptr<const Checkpoint> cp) {
+    ++steal_attempts;
+    if (cp != nullptr) ++steal_grants;
+  };
+  victim.on_escape = [&](const EscapedAlt& e) { escapes.push_back(e); };
+  ExploreResult victim_result = Explorer(victim).explore(
+      fan_in(1), [&](const core::RunTrace&, const mpism::RunReport&,
+                     const Schedule& s) { bag.insert(bag_key(s)); });
+  merge.add(victim_result);
+  EXPECT_EQ(steal_attempts, 1);
+  EXPECT_EQ(steal_grants, 0) << "sub-threshold frontier must not be carved";
+
+  // Whatever escaped still runs (coordinator loop), so nothing is lost.
+  std::deque<Checkpoint> queue;
+  for (const EscapedAlt& e : escapes) {
+    if (merge.escape_is_new(e)) {
+      Checkpoint next = core::make_escape_shard(e, fingerprint);
+      merge.register_shard_sites(next);
+      queue.push_back(std::move(next));
+    }
+  }
+  while (!queue.empty()) {
+    Checkpoint shard = std::move(queue.front());
+    queue.pop_front();
+    std::vector<EscapedAlt> more;
+    ExplorerOptions follow = options;
+    follow.resume_from = std::make_shared<const Checkpoint>(std::move(shard));
+    follow.on_escape = [&](const EscapedAlt& e) { more.push_back(e); };
+    ExploreResult r = Explorer(follow).explore(
+        fan_in(1), [&](const core::RunTrace&, const mpism::RunReport&,
                        const Schedule& s) { bag.insert(bag_key(s)); });
     merge.add(r);
     for (const EscapedAlt& e : more) {
