@@ -31,6 +31,7 @@
 #include "obs/chrome_trace.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "sweep/sweep.hpp"
 #include "workloads/adlb.hpp"
 #include "workloads/matmult.hpp"
 #include "workloads/parmetis_proxy.hpp"
@@ -157,7 +158,36 @@ int usage(const char* argv0) {
       "64)\n"
       "  --resume               continue from --checkpoint FILE instead "
       "of\n"
-      "                         starting over (options must match)\n"
+      "                         starting over (options must match); in "
+      "sweep\n"
+      "                         mode, continue from --sweep-journal "
+      "without\n"
+      "                         re-running completed plans\n"
+      "fault-sweep options:\n"
+      "  --sweep-faults         enumerate single-point fault plans over "
+      "the\n"
+      "                         program's op inventory and run one "
+      "bounded\n"
+      "                         campaign per plan (a crash-tolerance "
+      "matrix);\n"
+      "                         --max-interleavings bounds each plan's\n"
+      "                         campaign, --workers runs plans "
+      "concurrently\n"
+      "  --sweep-budget N       max plans (default 64; abort/error "
+      "points\n"
+      "                         first, then sampled delay/flaky ones)\n"
+      "  --sweep-seed N         seeds the delay/flaky sampler (default "
+      "1)\n"
+      "  --sweep-kinds SPEC     fault families to sweep, e.g. "
+      "abort,delay\n"
+      "                         (default all)\n"
+      "  --sweep-report FILE    write the machine-readable JSON report;\n"
+      "                         byte-identical for the same (program,\n"
+      "                         options, budget, seed) at any --workers\n"
+      "                         and across kill/--resume\n"
+      "  --sweep-journal FILE   crash-safe journal of completed plans "
+      "(atomic\n"
+      "                         rename per plan) for --resume\n"
       "distributed options:\n"
       "  --workers N            distributed campaign: shard the frontier "
       "across\n"
@@ -221,6 +251,12 @@ int main(int argc, char** argv) {
   std::string checkpoint_path;
   std::uint64_t checkpoint_interval = 64;
   bool resume = false;
+  bool sweep_faults = false;
+  std::uint64_t sweep_budget = 64;
+  std::uint64_t sweep_seed = 1;
+  sweep::SweepKinds sweep_kinds;
+  std::string sweep_report_path;
+  std::string sweep_journal_path;
   int workers = 0;  // 0 = in-process exploration (the default)
   std::string dist_socket;
   bool worker_mode = false;
@@ -354,6 +390,36 @@ int main(int argc, char** argv) {
       checkpoint_interval = std::strtoull(v, nullptr, 10);
     } else if (arg == "--resume") {
       resume = true;
+    } else if (arg == "--sweep-faults") {
+      sweep_faults = true;
+    } else if (arg == "--sweep-budget") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      sweep_budget = std::strtoull(v, nullptr, 10);
+      if (sweep_budget == 0) {
+        std::printf("--sweep-budget must be >= 1\n");
+        return usage(argv[0]);
+      }
+    } else if (arg == "--sweep-seed") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      sweep_seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--sweep-kinds") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      std::string error;
+      if (!sweep::parse_sweep_kinds(v, &sweep_kinds, &error)) {
+        std::printf("bad --sweep-kinds: %s\n", error.c_str());
+        return usage(argv[0]);
+      }
+    } else if (arg == "--sweep-report") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      sweep_report_path = v;
+    } else if (arg == "--sweep-journal") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      sweep_journal_path = v;
     } else if (arg == "--workers") {
       const char* v = next();
       if (v == nullptr) return usage(argv[0]);
@@ -444,6 +510,35 @@ int main(int argc, char** argv) {
       std::printf("bad --fault spec: %s\n", error.c_str());
       return usage(argv[0]);
     }
+    // Eager semantic validation: a point aimed at a rank this campaign
+    // does not simulate would sit silently unreachable for the whole
+    // run — reject it now, naming the offending point.
+    error = mpism::validate_fault_plan(*explorer_options.fault, procs);
+    if (!error.empty()) {
+      std::printf("bad --fault spec: %s\n", error.c_str());
+      return 3;
+    }
+  }
+
+  if (sweep_faults) {
+    // The sweep owns fault injection, campaign scheduling, and its own
+    // journal; modes that would fight over those are rejected eagerly.
+    const char* conflict = nullptr;
+    if (!fault_spec_arg.empty()) conflict = "--fault";
+    if (use_isp) conflict = "--isp";
+    if (!replay_path.empty()) conflict = "--replay";
+    if (worker_mode) conflict = "--worker";
+    if (!checkpoint_path.empty()) conflict = "--checkpoint";
+    if (!dist_socket.empty()) conflict = "--dist-socket";
+    if (!save_repro_path.empty()) conflict = "--save-repro";
+    if (conflict != nullptr) {
+      std::printf("--sweep-faults cannot be combined with %s\n", conflict);
+      return usage(argv[0]);
+    }
+    if (resume && sweep_journal_path.empty()) {
+      std::printf("--resume in sweep mode requires --sweep-journal FILE\n");
+      return usage(argv[0]);
+    }
   }
   if (worker_mode) {
     if (coordinator_socket.empty()) {
@@ -461,7 +556,7 @@ int main(int argc, char** argv) {
     return dist::run_worker(config, it->second);
   }
 
-  if (resume) {
+  if (resume && !sweep_faults) {
     if (checkpoint_path.empty()) {
       std::printf("--resume requires --checkpoint FILE\n");
       return usage(argv[0]);
@@ -498,6 +593,56 @@ int main(int argc, char** argv) {
     bridge_stop.store(true, std::memory_order_release);
     if (sigint_bridge.joinable()) sigint_bridge.join();
   };
+
+  if (sweep_faults) {
+    sweep::SweepOptions sweep_options;
+    sweep_options.explorer = explorer_options;
+    // Per-campaign budget, not a whole-sweep one: each plan's
+    // exploration is bounded by the interleaving budget independently.
+    sweep_options.plan_max_interleavings = max_interleavings;
+    if (max_wall_seconds > 0.0) {
+      sweep_options.plan_wall_seconds = max_wall_seconds;
+    }
+    sweep_options.program_name = name;
+    sweep_options.budget = sweep_budget;
+    sweep_options.seed = sweep_seed;
+    sweep_options.kinds = sweep_kinds;
+    // --workers here fans plan campaigns out across threads (no
+    // coordinator processes: campaigns are already independent).
+    sweep_options.workers = workers > 0 ? workers : 1;
+    sweep_options.journal_path = sweep_journal_path;
+    sweep_options.resume = resume;
+    sweep_options.cancel = cancel;
+
+    const sweep::SweepResult sweep_result =
+        sweep::run_sweep(sweep_options, it->second);
+    stop_bridge();
+    std::printf("%s",
+                sweep::format_sweep_summary(sweep_options, sweep_result)
+                    .c_str());
+    int code = sweep::sweep_exit_code(sweep_result);
+    if (!sweep_journal_path.empty() && sweep_result.error.empty()) {
+      std::printf("sweep journal          : %s%s\n",
+                  sweep_journal_path.c_str(),
+                  sweep_result.interrupted ? " (resume with --resume)" : "");
+    }
+    if (!sweep_report_path.empty() && sweep_result.error.empty()) {
+      std::FILE* out = std::fopen(sweep_report_path.c_str(), "w");
+      const std::string report =
+          sweep::format_sweep_report_json(sweep_options, sweep_result);
+      if (out == nullptr ||
+          std::fwrite(report.data(), 1, report.size(), out) !=
+              report.size()) {
+        std::printf("could not write %s\n", sweep_report_path.c_str());
+        code = code == 0 ? 3 : code;
+      } else {
+        std::printf("sweep report           : %s\n",
+                    sweep_report_path.c_str());
+      }
+      if (out != nullptr) std::fclose(out);
+    }
+    return finish(code);
+  }
 
   if (!replay_path.empty()) {
     std::string error;

@@ -26,11 +26,19 @@ equivalent (same bug set and per-epoch outcome sets as --por off) and
 never explore more interleavings than off. The reduction ratio is
 reported per row; all-dependent workloads legitimately sit at 1.0x.
 
+With --sweep PATH it reads the BENCH_sweep.json that bench_sweep emits
+and checks the fault-sweep determinism contract: every worker count must
+complete the same number of plans with the same exit code (the bench
+itself already fails on report byte-divergence; this re-checks the
+summary numbers from the JSON). Plans/sec is reported but never failed
+on — scaling is conditional on cores.
+
 Usage:
   scripts/bench_compare.py [--bench PATH] [--tolerance FRAC] [--warn-only]
   scripts/bench_compare.py --distributed BENCH_distributed.json [--warn-only]
   scripts/bench_compare.py --contention BENCH_contention.json [--warn-only]
   scripts/bench_compare.py --por BENCH_por.json [--warn-only]
+  scripts/bench_compare.py --sweep BENCH_sweep.json [--warn-only]
 
 Exit codes: 0 ok (or --warn-only), 1 regression, 2 cannot run bench.
 """
@@ -198,6 +206,48 @@ def check_por(path, warn_only):
               f"(best reduction {best:.2f}x)")
 
 
+def check_sweep(path, warn_only):
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, ValueError) as err:
+        print(f"bench_compare: cannot read {path} ({err})", file=sys.stderr)
+        sys.exit(2)
+
+    rows = data.get("rows", [])
+    if len(rows) < 2:
+        print("bench_compare: need at least two sweep worker counts",
+              file=sys.stderr)
+        sys.exit(2)
+
+    nproc = data.get("nproc", 0)
+    base = rows[0]
+    print(f"{'workers':>8} {'wall_s':>10} {'plans':>7} {'plans/s':>10} "
+          f"{'speedup':>8}  (host cores: {nproc})")
+    divergent = []
+    for row in rows:
+        same = (row["plans"] == base["plans"]
+                and row["exit"] == base["exit"])
+        if not same:
+            divergent.append(row["workers"])
+        print(f"{row['workers']:>8} {row['wall_s']:>10.3f} "
+              f"{row['plans']:>7} {row['plans_per_s']:>10.1f} "
+              f"{row['speedup']:>7.2f}x"
+              f"{'' if same else '  <-- DIVERGENT'}")
+
+    if divergent:
+        print(f"bench_compare: sweep result diverges at worker counts "
+              f"{divergent} — parallelism changed the crash-tolerance "
+              f"report", file=sys.stderr)
+        if not warn_only:
+            sys.exit(1)
+        print("bench_compare: --warn-only set, not failing", file=sys.stderr)
+    else:
+        print("bench_compare: sweep result invariant across worker counts")
+        if nproc <= 1:
+            print("bench_compare: 1-core host — flat scaling curve expected")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -214,6 +264,11 @@ def main():
         "--por",
         metavar="JSON",
         help="check a BENCH_por.json instead of the matcher bench",
+    )
+    parser.add_argument(
+        "--sweep",
+        metavar="JSON",
+        help="check a BENCH_sweep.json instead of the matcher bench",
     )
     parser.add_argument(
         "--bench",
@@ -243,6 +298,10 @@ def main():
 
     if args.por:
         check_por(args.por, args.warn_only)
+        return
+
+    if args.sweep:
+        check_sweep(args.sweep, args.warn_only)
         return
 
     if not os.path.exists(args.bench):

@@ -11,7 +11,10 @@
 # jobs widths, and a SIGINT kill + --resume determinism smoke), a trace
 # smoke test (a real workload exported with --trace
 # must validate under trace_check), a DAMPI_TRACE=OFF configure+build
-# check, a warn-only matcher perf smoke (bench_compare.py), then the
+# check, a warn-only matcher perf smoke (bench_compare.py), a
+# fault-sweep stage (sweep-labelled tests, the --sweep-faults exit-code
+# contract, a SIGINT kill + --resume byte-identity smoke, and the
+# bench_sweep worker-count determinism check), then the
 # concurrent explorer tests again under ThreadSanitizer
 # (-DDAMPI_SANITIZE=thread; only the
 # `concurrency`/`obs`/`match`/`enginelock` labelled tests rerun there,
@@ -250,6 +253,77 @@ if command -v python3 > /dev/null 2>&1; then
 fi
 echo "tier1: POR soundness smoke OK"
 
+# Fault-sweep tests on their own label, same visibility rationale as the
+# resil and dist stages.
+(cd build && ctest --output-on-failure -L sweep -j "${jobs}")
+echo "tier1: sweep tests OK"
+
+# Sweep exit-code contract: 0 = every injection tolerated (propagated or
+# masked), 1 = a plan uncovered a deadlock/hang/latent bug, 3 = usage
+# error (--fault conflicts with --sweep-faults; an out-of-range fault
+# rank is rejected eagerly, before any exploration runs).
+expect_exit 0 build/examples/verify_cli --program fig3-benign --procs 3 \
+  --sched coop --sweep-faults --sweep-budget 8 --max-interleavings 16
+expect_exit 1 build/examples/verify_cli --program wildcard-deadlock \
+  --procs 3 --sched coop --sweep-faults --sweep-kinds delay \
+  --sweep-budget 6 --max-interleavings 32
+expect_exit 3 build/examples/verify_cli --program fig3-benign --procs 3 \
+  --sweep-faults --fault abort@0:1
+expect_exit 3 build/examples/verify_cli --program fig3-benign --procs 3 \
+  --fault abort@5:1
+echo "tier1: sweep exit-code contract OK"
+
+# Sweep SIGINT kill + --resume smoke: interrupt a journalled sweep
+# mid-flight, then --resume it. The resumed report must be byte-identical
+# to an uninterrupted run's, and the journalled plans must not re-execute
+# (resumed count == plans completed before the kill). Delay plans on
+# matmult keep the sweep alive long enough (~0.9s) for the signal to
+# land; if it races past the end anyway, the resume degrades to an
+# idempotence check — 0 executed, all resumed — same stance as the
+# checkpoint smoke above.
+sweep_journal="build/tier1-sweep.journal"
+sweep_ref="build/tier1-sweep-ref.json"
+sweep_resumed="build/tier1-sweep-resumed.json"
+rm -f "${sweep_journal}" "${sweep_ref}" "${sweep_resumed}"
+sweep_cmd=(build/examples/verify_cli --program matmult --procs 4 \
+  --sched coop --sweep-faults --sweep-kinds delay --sweep-budget 8 \
+  --max-interleavings 1024)
+ref_rc=0
+"${sweep_cmd[@]}" --sweep-report "${sweep_ref}" > /dev/null || ref_rc=$?
+"${sweep_cmd[@]}" --sweep-journal "${sweep_journal}" > /dev/null 2>&1 &
+sweep_pid=$!
+sleep 0.35
+kill -INT "${sweep_pid}" 2> /dev/null || true
+wait "${sweep_pid}" || true
+journalled="$(grep -c '^plan ' "${sweep_journal}" 2> /dev/null || echo 0)"
+resume_rc=0
+resume_out="$("${sweep_cmd[@]}" --sweep-journal "${sweep_journal}" \
+  --resume --sweep-report "${sweep_resumed}")" || resume_rc=$?
+if [[ "${resume_rc}" != "${ref_rc}" ]] || \
+   ! cmp -s "${sweep_ref}" "${sweep_resumed}"; then
+  echo "tier1: FAIL: sweep resume mismatch (rc ${ref_rc} vs ${resume_rc})" >&2
+  diff "${sweep_ref}" "${sweep_resumed}" >&2 || true
+  exit 1
+fi
+if ! grep -q "${journalled} resumed" <<< "${resume_out}"; then
+  echo "tier1: FAIL: sweep resume re-executed journalled plans" \
+    "(expected ${journalled} resumed)" >&2
+  grep "resumed" <<< "${resume_out}" >&2 || true
+  exit 1
+fi
+rm -f "${sweep_journal}" "${sweep_ref}" "${sweep_resumed}"
+echo "tier1: sweep SIGINT kill/resume smoke OK"
+
+# Sweep throughput smoke: the bench fails on any report divergence across
+# worker counts; the compare step re-checks the JSON (warn-only for the
+# speedup column, equivalence is the gate).
+DAMPI_BENCH_QUICK=1 DAMPI_BENCH_OUT=build/BENCH_sweep.json \
+  build/bench/bench_sweep
+if command -v python3 > /dev/null 2>&1; then
+  python3 scripts/bench_compare.py --sweep build/BENCH_sweep.json --warn-only
+fi
+echo "tier1: sweep throughput smoke OK"
+
 if [[ "${1:-}" == "--skip-tsan" ]]; then
   echo "tier1: skipping ThreadSanitizer stage"
   exit 0
@@ -258,7 +332,7 @@ fi
 cmake -B build-tsan -S . -DDAMPI_SANITIZE=thread
 cmake --build build-tsan -j "${jobs}" \
   --target test_explorer_parallel test_obs test_match_index \
-           test_engine_lock test_por
+           test_engine_lock test_por test_sweep
 (cd build-tsan && ctest --output-on-failure \
-  -L 'concurrency|obs|match|enginelock|por' -j "${jobs}")
-echo "tier1: OK (including TSan concurrency + obs + match + enginelock + por stage)"
+  -L 'concurrency|obs|match|enginelock|por|sweep' -j "${jobs}")
+echo "tier1: OK (including TSan concurrency + obs + match + enginelock + por + sweep stage)"

@@ -201,6 +201,13 @@ std::string serialize_checkpoint(const Checkpoint& checkpoint) {
                 static_cast<unsigned long long>(checkpoint.quarantined),
                 static_cast<unsigned long long>(checkpoint.divergences),
                 static_cast<unsigned long long>(checkpoint.prefix_mismatches));
+  if (!checkpoint.fault_fires.empty()) {
+    out += strfmt("ffires %zu", checkpoint.fault_fires.size());
+    for (const std::uint64_t f : checkpoint.fault_fires) {
+      out += strfmt(" %llu", static_cast<unsigned long long>(f));
+    }
+    out += '\n';
+  }
   for (const DfsFrame& frame : checkpoint.frames) {
     out += serialize_frame(frame, "frame");
   }
@@ -287,6 +294,17 @@ std::optional<Checkpoint> parse_checkpoint(
       if (!(ls >> cp.retries >> cp.timeouts >> cp.quarantined >>
             cp.divergences >> cp.prefix_mismatches)) {
         return fail(strfmt("line %d: bad counters line", line_no));
+      }
+    } else if (keyword == "ffires") {
+      std::size_t count = 0;
+      if (!(ls >> count)) {
+        return fail(strfmt("line %d: bad ffires line", line_no));
+      }
+      cp.fault_fires.resize(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        if (!(ls >> cp.fault_fires[i])) {
+          return fail(strfmt("line %d: truncated ffires line", line_no));
+        }
       }
     } else if (keyword == "frame" || keyword == "pframe") {
       DfsFrame frame;

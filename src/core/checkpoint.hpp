@@ -46,6 +46,13 @@ struct Checkpoint {
   std::vector<DfsFrame> pending_sleep;
   std::vector<BugRecord> bugs;
   std::vector<std::string> unsafe_alerts;
+  /// Fault-plan fire counters (FaultPlan::fire_counts, point order) at
+  /// save time; empty without a fault plan. A resumed walk seeds its
+  /// plan from these so flaky caps exhausted before the kill stay
+  /// exhausted — the same mechanism carries discovery-time counters
+  /// into distributed shards. Written as an optional `ffires` line, so
+  /// pre-existing journals load unchanged.
+  std::vector<std::uint64_t> fault_fires;
 };
 
 /// Canonical, human-readable fingerprint of the options that determine

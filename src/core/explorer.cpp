@@ -466,6 +466,7 @@ ExploreResult Explorer::explore(const mpism::ProgramFn& program,
     cp.pending_sleep = pending_sleep_;
     cp.bugs = result.bugs;
     cp.unsafe_alerts = result.unsafe_alerts;
+    if (options_.fault) cp.fault_fires = options_.fault->fire_counts();
     DAMPI_TEVENT(obs::EventKind::kCheckpoint, obs::Phase::kBegin,
                  static_cast<std::int32_t>(stack_.size()), 0, 0,
                  static_cast<std::int32_t>(result.interleavings));
@@ -530,6 +531,14 @@ ExploreResult Explorer::explore(const mpism::ProgramFn& program,
         result.unsafe_alerts.push_back(alert);
       }
     }
+    // Restore fault-plan fire counters: a flaky cap exhausted before the
+    // kill (or during a distributed campaign's discovery) must stay
+    // exhausted, or the resumed walk fires faults the uninterrupted walk
+    // would not. Monotone, so a worker reusing one plan across shards
+    // never loses fires it accumulated itself.
+    if (options_.fault && !cp.fault_fires.empty()) {
+      options_.fault->seed_fires(cp.fault_fires);
+    }
     result.resumed = true;
   } else {
     // Initial discovery execution: SELF_RUN unless the caller pinned the
@@ -588,7 +597,13 @@ ExploreResult Explorer::explore(const mpism::ProgramFn& program,
     // on this thread, so the thief and the victim can never race.
     if (options_.steal_poll && options_.on_steal) {
       while (options_.steal_poll()) {
-        options_.on_steal(carve_steal(stack_, fingerprint));
+        std::shared_ptr<Checkpoint> stolen = carve_steal(stack_, fingerprint);
+        // The thief may run in another process: ship the current flaky
+        // accounting with the shard, like every other checkpoint.
+        if (stolen && options_.fault) {
+          stolen->fault_fires = options_.fault->fire_counts();
+        }
+        options_.on_steal(std::move(stolen));
       }
     }
 

@@ -15,6 +15,7 @@ namespace {
 Checkpoint shard_skeleton(const Checkpoint& root, std::size_t max_pos) {
   Checkpoint shard;
   shard.fingerprint = root.fingerprint;
+  shard.fault_fires = root.fault_fires;
   shard.frames.assign(root.frames.begin(),
                       root.frames.begin() +
                           static_cast<std::ptrdiff_t>(max_pos) + 1);

@@ -62,6 +62,13 @@ DistResult run_distributed(const DistOptions& options,
   core::Checkpoint root;
   root.fingerprint = fingerprint;
   root.frames = discovered.frontier;
+  // Snapshot the fault plan's fire counters after discovery: every
+  // shard (split, escape, or requeued) carries them, so worker
+  // processes — which parse their own fresh plan — resume the campaign
+  // accounting instead of re-arming flaky points discovery exhausted.
+  if (options.explorer.fault) {
+    root.fault_fires = options.explorer.fault->fire_counts();
+  }
 
   const bool discovery_aborted =
       discovered.interrupted || discovered.time_budget_exhausted;
@@ -76,6 +83,9 @@ DistResult run_distributed(const DistOptions& options,
   auto add_shard = [&](core::Checkpoint cp) {
     ShardState st;
     st.id = next_shard_id++;
+    // Escape/steal shards are built without the discovery-time fault
+    // accounting; stamp it on so every worker resumes the same counters.
+    if (cp.fault_fires.empty()) cp.fault_fires = root.fault_fires;
     st.text = core::serialize_checkpoint(cp);
     st.cp = std::move(cp);
     merge.register_shard_sites(st.cp);

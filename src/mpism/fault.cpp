@@ -1,8 +1,10 @@
 #include "mpism/fault.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "common/strutil.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace dampi::mpism {
@@ -153,6 +155,25 @@ std::uint64_t FaultPlan::total_fires() const {
   return total;
 }
 
+std::vector<std::uint64_t> FaultPlan::fire_counts() const {
+  std::vector<std::uint64_t> counts(points_.size());
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    counts[i] = fires(i);
+  }
+  return counts;
+}
+
+void FaultPlan::seed_fires(const std::vector<std::uint64_t>& seed) {
+  if (seed.size() != points_.size()) return;
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    std::uint64_t current = fired_[i].load(std::memory_order_relaxed);
+    while (seed[i] > current &&
+           !fired_[i].compare_exchange_weak(current, seed[i],
+                                            std::memory_order_relaxed)) {
+    }
+  }
+}
+
 std::shared_ptr<FaultPlan> parse_fault_plan(const std::string& spec,
                                             std::string* error) {
   std::vector<FaultPoint> points;
@@ -181,7 +202,40 @@ std::shared_ptr<FaultPlan> parse_fault_plan(const std::string& spec,
     *error = "fault spec: no points";
     return nullptr;
   }
+  // Canonical order: (rank, op, kind). Two spellings of the same plan
+  // then fingerprint identically, and a duplicate (rank, op, kind)
+  // point — which would silently double-fire — becomes adjacent and is
+  // rejected with the exact offending token.
+  std::stable_sort(points.begin(), points.end(),
+                   [](const FaultPoint& a, const FaultPoint& b) {
+                     if (a.rank != b.rank) return a.rank < b.rank;
+                     if (a.op_index != b.op_index) return a.op_index < b.op_index;
+                     return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+                   });
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    const FaultPoint& prev = points[i - 1];
+    const FaultPoint& cur = points[i];
+    if (prev.rank == cur.rank && prev.op_index == cur.op_index &&
+        prev.kind == cur.kind) {
+      *error = strfmt(
+          "fault point '%s': duplicate (rank, op, kind) point — each "
+          "injection point may appear once",
+          fault_point_spec(cur).c_str());
+      return nullptr;
+    }
+  }
   return std::make_shared<FaultPlan>(std::move(points));
+}
+
+std::string fault_point_spec(const FaultPoint& p) {
+  std::string out = strfmt("%s@%d:%llu", kind_name(p.kind), p.rank,
+                           static_cast<unsigned long long>(p.op_index));
+  if (p.kind == FaultPoint::Kind::kDelay) {
+    out += strfmt(":%.0f", p.delay_us);
+  } else if (p.kind == FaultPoint::Kind::kFlaky) {
+    out += strfmt(":%llu", static_cast<unsigned long long>(p.max_fires));
+  }
+  return out;
 }
 
 std::string fault_spec(const FaultPlan& plan) {
@@ -190,15 +244,21 @@ std::string fault_spec(const FaultPlan& plan) {
     if (!out.empty()) {
       out += ',';
     }
-    out += strfmt("%s@%d:%llu", kind_name(p.kind), p.rank,
-                  static_cast<unsigned long long>(p.op_index));
-    if (p.kind == FaultPoint::Kind::kDelay) {
-      out += strfmt(":%.0f", p.delay_us);
-    } else if (p.kind == FaultPoint::Kind::kFlaky) {
-      out += strfmt(":%llu", static_cast<unsigned long long>(p.max_fires));
-    }
+    out += fault_point_spec(p);
   }
   return out;
+}
+
+std::string validate_fault_plan(const FaultPlan& plan, int nprocs) {
+  for (const FaultPoint& p : plan.points()) {
+    if (p.rank < 0 || p.rank >= nprocs) {
+      return strfmt(
+          "fault point '%s': rank %d out of range for %d ranks "
+          "(valid ranks: 0..%d)",
+          fault_point_spec(p).c_str(), p.rank, nprocs, nprocs - 1);
+    }
+  }
+  return std::string();
 }
 
 FaultLayer::FaultLayer(std::shared_ptr<FaultPlan> plan, Rank rank)
@@ -223,6 +283,9 @@ void FaultLayer::on_op(ToolCtx& ctx, const char* what) {
     if (!plan_->should_fire(i)) {
       continue;
     }
+    static obs::Counter& fires_metric =
+        obs::Registry::instance().counter("fault.fires");
+    fires_metric.add(1);
     DAMPI_TEVENT(obs::EventKind::kFaultInject, obs::Phase::kInstant,
                  static_cast<std::uint32_t>(rank_),
                  static_cast<std::uint32_t>(ops_),

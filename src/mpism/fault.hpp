@@ -16,7 +16,10 @@
 //
 // One FaultPlan instance is shared by every run of an exploration, so
 // flaky fire-counters span the campaign, and its canonical spec string
-// is folded into checkpoint fingerprints.
+// is folded into checkpoint fingerprints. Plans are canonicalized at
+// parse time — points sorted by (rank, op, kind), duplicate
+// (rank, op, kind) points rejected — so two spellings of the same plan
+// produce identical fingerprints and sweep-journal dedup keys.
 #pragma once
 
 #include <atomic>
@@ -61,19 +64,43 @@ class FaultPlan {
   std::uint64_t fires(std::size_t i) const;
   std::uint64_t total_fires() const;
 
+  /// Per-point fire counters in point order (same clamping as fires()).
+  std::vector<std::uint64_t> fire_counts() const;
+
+  /// Restore fire counters from a checkpoint: each counter becomes
+  /// max(current, seed[i]) — monotone, so seeding never re-arms a flaky
+  /// point this process already exhausted. Sizes must match; a mismatch
+  /// is ignored (the seed came from a different plan). This is what
+  /// carries flaky accounting across --resume and into distributed
+  /// workers (shards embed the discovery-time counters).
+  void seed_fires(const std::vector<std::uint64_t>& seed);
+
  private:
   std::vector<FaultPoint> points_;
   std::unique_ptr<std::atomic<std::uint64_t>[]> fired_;
 };
 
-/// Parse a comma-separated fault spec (grammar above). Returns nullptr
-/// and fills `*error` on malformed input.
+/// Parse a comma-separated fault spec (grammar above). Points are
+/// canonicalized — sorted by (rank, op, kind) — and duplicate
+/// (rank, op, kind) points are rejected. Returns nullptr and fills
+/// `*error` on malformed input.
 std::shared_ptr<FaultPlan> parse_fault_plan(const std::string& spec,
                                             std::string* error);
 
+/// Canonical spec of one point (e.g. "delay@2:5:1500").
+std::string fault_point_spec(const FaultPoint& point);
+
 /// Canonical spec string (inverse of parse_fault_plan; stable across a
-/// parse/print round trip, used in checkpoint fingerprints).
+/// parse/print round trip, used in checkpoint fingerprints). Identical
+/// for semantically identical plans regardless of input spec order.
 std::string fault_spec(const FaultPlan& plan);
+
+/// Semantic validation against a rank count: every point's rank must be
+/// in [0, nprocs). Returns the empty string when valid, else a
+/// diagnostic naming the offending point spec — callers (the CLI) can
+/// reject a plan eagerly instead of letting out-of-range points sit
+/// silently unreachable at run time.
+std::string validate_fault_plan(const FaultPlan& plan, int nprocs);
 
 /// The interposition layer: one per rank, stacked above every other tool
 /// so it sees user-facing MPI calls in program order. Counts this rank's

@@ -33,6 +33,7 @@ const KindInfo& kind_info(EventKind kind) {
       {"replay.retry", {"attempt", nullptr, nullptr, nullptr}},
       {"replay.quarantine", {nullptr, nullptr, nullptr, "interleaving"}},
       {"checkpoint.write", {"frames", nullptr, nullptr, "interleaving"}},
+      {"sweep.plan", {"plan", "verdict", nullptr, "interleavings"}},
   };
   static_assert(sizeof(kTable) / sizeof(kTable[0]) ==
                 static_cast<std::size_t>(EventKind::kKindCount));

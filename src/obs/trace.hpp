@@ -61,6 +61,8 @@ enum class EventKind : std::uint16_t {
   kRetry,           ///< instant: failed replay re-executed; a=attempt
   kQuarantine,      ///< instant: decision subtree quarantined; d=interleaving
   kCheckpoint,      ///< span: checkpoint write; a=frames d=interleaving
+  // fault sweep (lane: "sweep")
+  kSweepPlan,       ///< span: one plan campaign; a=plan b=verdict d=interleavings
   kKindCount
 };
 

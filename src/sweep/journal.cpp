@@ -1,0 +1,166 @@
+#include "sweep/journal.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/strutil.hpp"
+
+namespace dampi::sweep {
+
+namespace {
+
+std::string rest_of_line(const std::string& line, std::size_t keyword_len) {
+  if (line.size() <= keyword_len + 1) return "";
+  return line.substr(keyword_len + 1);
+}
+
+}  // namespace
+
+std::string serialize_sweep_journal(const SweepJournal& journal) {
+  std::string out = kSweepJournalHeader;
+  out += '\n';
+  out += "options " + journal.fingerprint + '\n';
+  for (const auto& [index, record] : journal.records) {
+    out += strfmt("plan %llu %s %llu %llu %llu %d %s\n",
+                  static_cast<unsigned long long>(record.index),
+                  verdict_name(record.verdict),
+                  static_cast<unsigned long long>(record.interleavings),
+                  static_cast<unsigned long long>(record.fires),
+                  static_cast<unsigned long long>(record.bugs),
+                  record.partial ? 1 : 0, record.spec.c_str());
+    if (!record.latent_error.empty()) {
+      out += strfmt("latent %llu %s\n",
+                    static_cast<unsigned long long>(record.index),
+                    escape_line(record.latent_error).c_str());
+    }
+  }
+  out += "end\n";
+  return out;
+}
+
+std::optional<SweepJournal> parse_sweep_journal(
+    const std::string& text, const std::string& expected_fingerprint,
+    std::string* error) {
+  auto fail = [error](std::string message) -> std::optional<SweepJournal> {
+    if (error != nullptr) *error = std::move(message);
+    return std::nullopt;
+  };
+
+  SweepJournal journal;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  bool saw_header = false;
+  bool saw_options = false;
+  bool saw_end = false;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+      line.pop_back();
+    }
+    if (line.empty()) continue;
+    if (saw_end) {
+      return fail(strfmt("line %d: content after 'end' trailer", line_no));
+    }
+    if (!saw_header) {
+      if (line != kSweepJournalHeader) {
+        return fail(
+            strfmt("line %d: first non-blank line must be the '%s' header",
+                   line_no, kSweepJournalHeader));
+      }
+      saw_header = true;
+      continue;
+    }
+    if (line[0] == '#') continue;
+
+    std::istringstream ls(line);
+    std::string keyword;
+    ls >> keyword;
+
+    if (keyword == "options") {
+      journal.fingerprint = rest_of_line(line, keyword.size());
+      if (!expected_fingerprint.empty() &&
+          journal.fingerprint != expected_fingerprint) {
+        return fail(strfmt(
+            "sweep fingerprint mismatch — journal was written by a "
+            "different sweep configuration\n  journal: %s\n  current: %s",
+            journal.fingerprint.c_str(), expected_fingerprint.c_str()));
+      }
+      saw_options = true;
+    } else if (keyword == "plan") {
+      PlanRecord record;
+      std::string verdict;
+      int partial = 0;
+      if (!(ls >> record.index >> verdict >> record.interleavings >>
+            record.fires >> record.bugs >> partial >> record.spec)) {
+        return fail(strfmt("line %d: bad plan line", line_no));
+      }
+      if (!parse_verdict(verdict, &record.verdict)) {
+        return fail(strfmt("line %d: unknown verdict '%s'", line_no,
+                           verdict.c_str()));
+      }
+      record.partial = partial != 0;
+      record.from_journal = true;
+      if (!journal.records.emplace(record.index, std::move(record)).second) {
+        return fail(strfmt("line %d: duplicate plan index", line_no));
+      }
+    } else if (keyword == "latent") {
+      std::uint64_t index = 0;
+      if (!(ls >> index)) {
+        return fail(strfmt("line %d: bad latent line", line_no));
+      }
+      auto it = journal.records.find(index);
+      if (it == journal.records.end()) {
+        return fail(strfmt("line %d: latent line without its plan", line_no));
+      }
+      std::string rest;
+      std::getline(ls, rest);
+      if (!rest.empty() && rest[0] == ' ') rest.erase(0, 1);
+      it->second.latent_error = unescape_line(rest);
+    } else if (keyword == "end") {
+      saw_end = true;
+    } else {
+      return fail(
+          strfmt("line %d: unknown keyword '%s'", line_no, keyword.c_str()));
+    }
+  }
+  if (!saw_header) {
+    return fail(strfmt("missing '%s' header", kSweepJournalHeader));
+  }
+  if (!saw_options) {
+    return fail("missing 'options' fingerprint line");
+  }
+  if (!saw_end) {
+    return fail("truncated sweep journal (missing 'end' trailer)");
+  }
+  return journal;
+}
+
+bool save_sweep_journal(const SweepJournal& journal, const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return false;
+    out << serialize_sweep_journal(journal);
+    if (!out) return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+std::optional<SweepJournal> load_sweep_journal(
+    const std::string& path, const std::string& expected_fingerprint,
+    std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_sweep_journal(buffer.str(), expected_fingerprint, error);
+}
+
+}  // namespace dampi::sweep

@@ -1,0 +1,53 @@
+// Crash-safe sweep journal: completed plan records, one per line.
+//
+// A fault sweep runs hundreds of short campaigns; the journal is what
+// makes a kill at any point cheap — `--resume` replays nothing that is
+// already recorded. Discipline mirrors core/checkpoint.hpp: versioned
+// header first, an `options` line carrying the sweep fingerprint
+// (compared whole on load — a mismatch is a clean refusal), one `plan`
+// line per COMPLETED campaign (in-flight campaigns are never recorded,
+// so kill-at-K resumes to exactly the uninterrupted sweep), and an
+// `end` trailer. Every save rewrites the whole file through
+// `<path>.tmp` + rename(2), so a crash mid-write leaves the previous
+// journal intact.
+//
+// File format (line-oriented):
+//   # dampi-sweep-journal v1
+//   options <sweep fingerprint>
+//   plan <index> <verdict> <interleavings> <fires> <bugs> <partial> <spec>
+//   latent <index> <escaped message>     (optional, follows its plan line)
+//   end
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "sweep/types.hpp"
+
+namespace dampi::sweep {
+
+inline constexpr const char* kSweepJournalHeader = "# dampi-sweep-journal v1";
+
+struct SweepJournal {
+  std::string fingerprint;  ///< sweep_fingerprint() at save time
+  std::map<std::uint64_t, PlanRecord> records;  ///< by enumeration index
+};
+
+std::string serialize_sweep_journal(const SweepJournal& journal);
+
+/// Parses and validates. `expected_fingerprint` empty skips the
+/// fingerprint comparison (the file's own is still required and kept).
+std::optional<SweepJournal> parse_sweep_journal(
+    const std::string& text, const std::string& expected_fingerprint,
+    std::string* error);
+
+/// Atomic write via `<path>.tmp` + rename. False on I/O failure.
+bool save_sweep_journal(const SweepJournal& journal, const std::string& path);
+
+std::optional<SweepJournal> load_sweep_journal(
+    const std::string& path, const std::string& expected_fingerprint,
+    std::string* error);
+
+}  // namespace dampi::sweep

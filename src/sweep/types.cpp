@@ -1,0 +1,87 @@
+#include "sweep/types.hpp"
+
+#include "common/strutil.hpp"
+
+namespace dampi::sweep {
+
+const char* verdict_name(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kClean:
+      return "clean";
+    case Verdict::kDeadlock:
+      return "deadlock";
+    case Verdict::kHang:
+      return "hang";
+    case Verdict::kErrorPropagated:
+      return "error-propagated";
+    case Verdict::kMasked:
+      return "fault-masked";
+    case Verdict::kSweepError:
+      return "sweep-error";
+  }
+  return "?";
+}
+
+bool parse_verdict(const std::string& name, Verdict* out) {
+  for (const Verdict v :
+       {Verdict::kClean, Verdict::kDeadlock, Verdict::kHang,
+        Verdict::kErrorPropagated, Verdict::kMasked, Verdict::kSweepError}) {
+    if (name == verdict_name(v)) {
+      *out = v;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string sweep_kinds_spec(const SweepKinds& kinds) {
+  std::string out;
+  const auto append = [&out](const char* name) {
+    if (!out.empty()) out += ',';
+    out += name;
+  };
+  if (kinds.abort_) append("abort");
+  if (kinds.delay_) append("delay");
+  if (kinds.error_) append("error");
+  if (kinds.flaky_) append("flaky");
+  return out;
+}
+
+bool parse_sweep_kinds(const std::string& spec, SweepKinds* out,
+                       std::string* error) {
+  SweepKinds kinds;
+  kinds.abort_ = kinds.error_ = kinds.delay_ = kinds.flaky_ = false;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(start, comma - start);
+    start = comma + 1;
+    if (item == "all") {
+      kinds.abort_ = kinds.error_ = kinds.delay_ = kinds.flaky_ = true;
+    } else if (item == "abort") {
+      kinds.abort_ = true;
+    } else if (item == "error") {
+      kinds.error_ = true;
+    } else if (item == "delay") {
+      kinds.delay_ = true;
+    } else if (item == "flaky") {
+      kinds.flaky_ = true;
+    } else {
+      *error = strfmt(
+          "sweep kinds '%s': unknown family '%s' "
+          "(expected abort|error|delay|flaky|all)",
+          spec.c_str(), item.c_str());
+      return false;
+    }
+    if (comma == spec.size()) break;
+  }
+  if (!kinds.abort_ && !kinds.error_ && !kinds.delay_ && !kinds.flaky_) {
+    *error = strfmt("sweep kinds '%s': no families selected", spec.c_str());
+    return false;
+  }
+  *out = kinds;
+  return true;
+}
+
+}  // namespace dampi::sweep

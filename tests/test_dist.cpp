@@ -29,6 +29,7 @@
 #include "dist/coordinator.hpp"
 #include "dist/protocol.hpp"
 #include "mpism/cancel.hpp"
+#include "mpism/fault.hpp"
 #include "support/verify_helpers.hpp"
 #include "workloads/patterns.hpp"
 
@@ -107,6 +108,79 @@ ExploreResult run_sharded_campaign(const ExplorerOptions& base,
   return merge.finish();
 }
 
+/// Sharded campaign with a fault plan, mirroring the coordinator's
+/// propagation exactly: every walk (discovery, shards, escapes) gets a
+/// FRESH plan instance — as every worker process does — and the
+/// discovery-time fire counters ride in via Checkpoint::fault_fires
+/// (split_frontier copies them; escape shards are stamped the way
+/// add_shard stamps them).
+struct FaultCampaign {
+  ExploreResult result;
+  std::uint64_t discovery_fires = 0;
+  std::uint64_t shard_extra_fires = 0;  ///< fires beyond the seeded counters
+};
+
+FaultCampaign run_sharded_fault_campaign(const ExplorerOptions& base,
+                                         const std::string& spec,
+                                         const mpism::ProgramFn& program,
+                                         std::size_t max_shards,
+                                         ScheduleBag* bag) {
+  std::string parse_error;
+  ExplorerOptions disc = base;
+  disc.fault = mpism::parse_fault_plan(spec, &parse_error);
+  EXPECT_NE(disc.fault, nullptr) << parse_error;
+  disc.discovery_only = true;
+  ExploreResult discovered = Explorer(disc).explore(
+      program, [&](const core::RunTrace&, const mpism::RunReport&,
+                   const Schedule& s) { bag->insert(bag_key(s)); });
+
+  const std::string fingerprint = core::options_fingerprint(disc);
+  Checkpoint root;
+  root.fingerprint = fingerprint;
+  root.frames = discovered.frontier;
+  root.fault_fires = disc.fault->fire_counts();
+
+  FaultCampaign campaign;
+  campaign.discovery_fires = disc.fault->total_fires();
+
+  CampaignMerge merge(std::move(discovered), base.por);
+  std::deque<Checkpoint> queue;
+  for (Checkpoint& cp : core::split_frontier(root, max_shards, base.por)) {
+    merge.register_shard_sites(cp);
+    queue.push_back(std::move(cp));
+  }
+
+  while (!queue.empty()) {
+    Checkpoint shard = std::move(queue.front());
+    queue.pop_front();
+    // Coordinator stamping: escape/steal shards carry no discovery
+    // counters of their own.
+    if (shard.fault_fires.empty()) shard.fault_fires = root.fault_fires;
+    std::uint64_t seeded = 0;
+    for (const std::uint64_t f : shard.fault_fires) seeded += f;
+
+    std::vector<EscapedAlt> escapes;
+    ExplorerOptions options = base;
+    options.fault = mpism::parse_fault_plan(spec, &parse_error);
+    EXPECT_NE(options.fault, nullptr) << parse_error;
+    options.resume_from = std::make_shared<const Checkpoint>(std::move(shard));
+    options.on_escape = [&](const EscapedAlt& e) { escapes.push_back(e); };
+    ExploreResult result = Explorer(options).explore(
+        program, [&](const core::RunTrace&, const mpism::RunReport&,
+                     const Schedule& s) { bag->insert(bag_key(s)); });
+    campaign.shard_extra_fires += options.fault->total_fires() - seeded;
+    merge.add(result);
+    for (const EscapedAlt& e : escapes) {
+      if (!merge.escape_is_new(e)) continue;
+      Checkpoint next = core::make_escape_shard(e, fingerprint);
+      merge.register_shard_sites(next);
+      queue.push_back(std::move(next));
+    }
+  }
+  campaign.result = merge.finish();
+  return campaign;
+}
+
 // --- Sharded == unsharded, across widths, schedulers, matchers -------------
 
 class ShardEquivalence
@@ -166,6 +240,117 @@ TEST(Dist, ShardedCampaignFindsAndDedupsBugs) {
   EXPECT_EQ(campaign.interleavings, single.interleavings);
   EXPECT_EQ(campaign_bag, single_bag);
   EXPECT_EQ(bug_keys(campaign.bugs), bug_keys(single.bugs));
+}
+
+// --- Fault-plan propagation through the distributed path -------------------
+
+// An error injection deep enough to leave the wildcard branching intact
+// must produce the same interleaving multiset, the same bug set, and
+// the same fire accounting at every shard width.
+TEST(DistFault, ErrorInjectionMatchesSequentialAcrossWidths) {
+  ExplorerOptions options = explorer_options(4);
+  options.sched.kind = mpism::SchedulerKind::kCoop;
+  const char* spec = "error@0:5";  // root's receive loop, after branching
+
+  std::string parse_error;
+  ExplorerOptions sequential = options;
+  sequential.fault = mpism::parse_fault_plan(spec, &parse_error);
+  ASSERT_NE(sequential.fault, nullptr) << parse_error;
+  ScheduleBag single_bag;
+  ExploreResult single = Explorer(sequential).explore(
+      fan_in(2), [&](const core::RunTrace&, const mpism::RunReport&,
+                     const Schedule& s) { single_bag.insert(bag_key(s)); });
+  ASSERT_TRUE(single.found_bug());
+  ASSERT_GT(single.interleavings, 1u);
+  const std::uint64_t sequential_fires = sequential.fault->total_fires();
+
+  for (const std::size_t shards : {std::size_t{2}, std::size_t{4}}) {
+    ScheduleBag campaign_bag;
+    const FaultCampaign campaign = run_sharded_fault_campaign(
+        options, spec, fan_in(2), shards, &campaign_bag);
+    EXPECT_EQ(campaign.result.interleavings, single.interleavings)
+        << "shards=" << shards;
+    EXPECT_EQ(campaign_bag, single_bag) << "shards=" << shards;
+    EXPECT_EQ(bug_keys(campaign.result.bugs), bug_keys(single.bugs))
+        << "shards=" << shards;
+    // The error point fires once per run reaching it, in both worlds.
+    EXPECT_EQ(campaign.discovery_fires + campaign.shard_extra_fires,
+              sequential_fires)
+        << "shards=" << shards;
+  }
+}
+
+// Delay perturbs timing, never outcomes: verdicts stay clean and the
+// per-run fire accounting (one per interleaving) splits exactly across
+// discovery + shards.
+TEST(DistFault, DelayInjectionKeepsVerdictsAndFireAccounting) {
+  ExplorerOptions options = explorer_options(4);
+  options.sched.kind = mpism::SchedulerKind::kCoop;
+  const char* spec = "delay@1:1:500";
+
+  std::string parse_error;
+  ExplorerOptions sequential = options;
+  sequential.fault = mpism::parse_fault_plan(spec, &parse_error);
+  ASSERT_NE(sequential.fault, nullptr) << parse_error;
+  ScheduleBag single_bag;
+  ExploreResult single = Explorer(sequential).explore(
+      fan_in(2), [&](const core::RunTrace&, const mpism::RunReport&,
+                     const Schedule& s) { single_bag.insert(bag_key(s)); });
+  EXPECT_FALSE(single.found_bug());
+  ASSERT_GT(single.interleavings, 4u);
+  EXPECT_EQ(sequential.fault->total_fires(), single.interleavings);
+
+  for (const std::size_t shards : {std::size_t{2}, std::size_t{4}}) {
+    ScheduleBag campaign_bag;
+    const FaultCampaign campaign = run_sharded_fault_campaign(
+        options, spec, fan_in(2), shards, &campaign_bag);
+    EXPECT_FALSE(campaign.result.found_bug()) << "shards=" << shards;
+    EXPECT_EQ(campaign.result.interleavings, single.interleavings)
+        << "shards=" << shards;
+    EXPECT_EQ(campaign_bag, single_bag) << "shards=" << shards;
+    EXPECT_EQ(campaign.discovery_fires + campaign.shard_extra_fires,
+              single.interleavings)
+        << "shards=" << shards;
+  }
+}
+
+// A flaky cap saturated during discovery must stay saturated in every
+// shard: the discovery-time counters ride in via Checkpoint::fault_fires
+// and seed each worker's fresh plan, so no shard re-arms the fault. This
+// is the --fault ... --workers N == --workers 1 accounting contract.
+TEST(DistFault, SaturatedFlakyCounterPropagatesIntoShards) {
+  ExplorerOptions options = explorer_options(4);
+  options.sched.kind = mpism::SchedulerKind::kCoop;
+  options.max_retries = 3;
+  options.retry_backoff_ms = 0.1;
+  const char* spec = "flaky@0:2:2";  // burned by the discovery run's retries
+
+  std::string parse_error;
+  ExplorerOptions sequential = options;
+  sequential.fault = mpism::parse_fault_plan(spec, &parse_error);
+  ASSERT_NE(sequential.fault, nullptr) << parse_error;
+  ScheduleBag single_bag;
+  ExploreResult single = Explorer(sequential).explore(
+      fan_in(2), [&](const core::RunTrace&, const mpism::RunReport&,
+                     const Schedule& s) { single_bag.insert(bag_key(s)); });
+  EXPECT_FALSE(single.found_bug());
+  EXPECT_EQ(single.retries, 2u);
+  EXPECT_EQ(sequential.fault->total_fires(), 2u);
+
+  for (const std::size_t shards : {std::size_t{2}, std::size_t{4}}) {
+    ScheduleBag campaign_bag;
+    const FaultCampaign campaign = run_sharded_fault_campaign(
+        options, spec, fan_in(2), shards, &campaign_bag);
+    EXPECT_FALSE(campaign.result.found_bug()) << "shards=" << shards;
+    EXPECT_EQ(campaign.result.interleavings, single.interleavings)
+        << "shards=" << shards;
+    EXPECT_EQ(campaign_bag, single_bag) << "shards=" << shards;
+    EXPECT_EQ(campaign.discovery_fires, 2u) << "shards=" << shards;
+    EXPECT_EQ(campaign.shard_extra_fires, 0u)
+        << "a shard re-armed the exhausted flaky point (shards=" << shards
+        << ")";
+    EXPECT_EQ(campaign.result.retries, single.retries) << "shards=" << shards;
+  }
 }
 
 // --- Work stealing ---------------------------------------------------------

@@ -137,23 +137,77 @@ TEST(Cancel, AlreadyFiredSourceAbortsTheRunImmediately) {
 // --- Fault injection -------------------------------------------------------
 
 TEST(Fault, SpecParsesAndFormatsCanonically) {
+  // Points are canonicalized at parse time — sorted by (rank, op, kind)
+  // — so the round-tripped spec is the canonical order, not the input
+  // order.
   std::string error;
   auto plan = mpism::parse_fault_plan(
       "abort@1:3,error@0:2,delay@2:5:1500,flaky@1:1:2", &error);
   ASSERT_NE(plan, nullptr) << error;
   EXPECT_EQ(mpism::fault_spec(*plan),
-            "abort@1:3,error@0:2,delay@2:5:1500,flaky@1:1:2");
+            "error@0:2,flaky@1:1:2,abort@1:3,delay@2:5:1500");
+}
+
+TEST(Fault, SpellingOrderDoesNotChangeTheCanonicalSpec) {
+  // Identical plans in different spellings must fingerprint (and
+  // journal-dedup) identically: checkpoint fingerprints embed
+  // fault_spec verbatim.
+  std::string error;
+  auto a = mpism::parse_fault_plan("abort@1:3,error@0:2", &error);
+  ASSERT_NE(a, nullptr) << error;
+  auto b = mpism::parse_fault_plan("error@0:2,abort@1:3", &error);
+  ASSERT_NE(b, nullptr) << error;
+  EXPECT_EQ(mpism::fault_spec(*a), mpism::fault_spec(*b));
 }
 
 TEST(Fault, BadSpecsAreRejectedWithAMessage) {
   for (const char* bad :
        {"", "abort", "abort@", "abort@1", "abort@x:1", "abort@1:0",
         "delay@1:1", "flaky@1:1:0", "abort@1:1:9", "explode@1:1",
-        "abort@1:1,,abort@0:1"}) {
+        "abort@1:1,,abort@0:1",
+        // Duplicate (rank, op, kind) points — including ones that only
+        // differ in their parameter, which would silently double-fire.
+        "abort@1:1,abort@1:1", "delay@0:2:100,delay@0:2:900",
+        "flaky@2:3:1,flaky@2:3:2"}) {
     std::string error;
     EXPECT_EQ(mpism::parse_fault_plan(bad, &error), nullptr) << bad;
     EXPECT_FALSE(error.empty()) << bad;
   }
+  std::string error;
+  EXPECT_EQ(mpism::parse_fault_plan("abort@1:1,error@0:2,abort@1:1", &error),
+            nullptr);
+  EXPECT_NE(error.find("duplicate"), std::string::npos) << error;
+  EXPECT_NE(error.find("abort@1:1"), std::string::npos) << error;
+}
+
+TEST(Fault, OutOfRangeRanksAreCaughtByValidation) {
+  std::string error;
+  auto plan = mpism::parse_fault_plan("abort@0:1,error@4:2", &error);
+  ASSERT_NE(plan, nullptr) << error;
+  EXPECT_EQ(mpism::validate_fault_plan(*plan, 5), "");
+  const std::string diagnostic = mpism::validate_fault_plan(*plan, 4);
+  EXPECT_NE(diagnostic.find("error@4:2"), std::string::npos) << diagnostic;
+  EXPECT_NE(diagnostic.find("out of range"), std::string::npos) << diagnostic;
+}
+
+TEST(Fault, SeedFiresIsAMonotoneMerge) {
+  std::string error;
+  auto plan = mpism::parse_fault_plan("flaky@0:1:3,abort@1:2", &error);
+  ASSERT_NE(plan, nullptr) << error;
+  // Canonical order: flaky@0:1:3 first, abort@1:2 second.
+  plan->seed_fires({2, 0});
+  EXPECT_EQ(plan->fires(0), 2u);
+  EXPECT_EQ(plan->fires(1), 0u);
+  // Seeding never re-arms a point: lower counters are ignored.
+  plan->seed_fires({1, 1});
+  EXPECT_EQ(plan->fires(0), 2u);
+  EXPECT_EQ(plan->fires(1), 1u);
+  // A size-mismatched seed came from a different plan; it is ignored.
+  plan->seed_fires({9, 9, 9});
+  EXPECT_EQ(plan->fires(0), 2u);
+  // Third arm of flaky@0:1:3 still fires (2 < 3), fourth does not.
+  EXPECT_TRUE(plan->should_fire(0));
+  EXPECT_FALSE(plan->should_fire(0));
 }
 
 TEST(Fault, InjectedAbortFailsTheRunAndCleanRerunsAreUnaffected) {
@@ -346,6 +400,7 @@ Checkpoint sample_checkpoint() {
   bug.schedule.forced[{1, 3}] = 0;
   cp.bugs.push_back(bug);
   cp.unsafe_alerts.push_back("alert with\nnewline");
+  cp.fault_fires = {2, 0, 1};
   return cp;
 }
 
@@ -379,6 +434,7 @@ TEST(Checkpoint, SerializeParseRoundTrip) {
   EXPECT_EQ(parsed->bugs[0].schedule.forced.size(), 1u);
   ASSERT_EQ(parsed->unsafe_alerts.size(), 1u);
   EXPECT_EQ(parsed->unsafe_alerts[0], "alert with\nnewline");
+  EXPECT_EQ(parsed->fault_fires, (std::vector<std::uint64_t>{2, 0, 1}));
 }
 
 TEST(Checkpoint, LoadRefusesCorruptOrForeignFiles) {
